@@ -1,0 +1,49 @@
+"""BGV on the same substrate (paper §II-A: "other schemes like BGV, BFV
+can also be similarly supported given their similar computation
+patterns").
+
+Times BGV HMult (tensor + the *identical* digit keyswitch machinery the
+CKKS path uses + exact modulus switch) and records the kernel-sharing
+evidence."""
+
+import numpy as np
+import pytest
+
+from conftest import record
+from repro.fhe.bgv import BgvContext, BgvParams
+
+T = 65537
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BgvContext(BgvParams(n=256, levels=3, plaintext_modulus=T,
+                                prime_bits=28), seed=7)
+
+
+@pytest.fixture(scope="module")
+def cts(ctx):
+    rng = np.random.default_rng(0)
+    v1 = rng.integers(0, T, 256).astype(np.int64)
+    v2 = rng.integers(0, T, 256).astype(np.int64)
+    return ctx.encrypt(v1), ctx.encrypt(v2), v1, v2
+
+
+def test_bgv_hmult(benchmark, ctx, cts, results_dir):
+    ct1, ct2, v1, v2 = cts
+    out = benchmark(ctx.multiply, ct1, ct2)
+    expected = (v1.astype(object) * v2) % T
+    np.testing.assert_array_equal(ctx.decrypt(out), expected.astype(np.int64))
+    record(
+        results_dir, "bgv_scheme",
+        "BGV HMult verified exact (slot-wise integer products mod 65537);\n"
+        "relinearization uses the identical digit-decomposition keyswitch\n"
+        "as CKKS (repro.fhe.keyswitch) -- one hardware substrate, two "
+        "schemes, as §II-A anticipates.",
+    )
+
+
+def test_bgv_hadd(benchmark, ctx, cts):
+    ct1, ct2, v1, v2 = cts
+    out = benchmark(ctx.add, ct1, ct2)
+    np.testing.assert_array_equal(ctx.decrypt(out), (v1 + v2) % T)

@@ -1,0 +1,53 @@
+"""§II-B motivation quantified: why decompose NTTs at all.
+
+The paper motivates multi-dimensional decomposition with off-chip
+behaviour — strided butterfly accesses of a direct large NTT thrash DRAM
+bursts, while the four-step schedule streams sequential SRAM-resident
+tiles.  This bench regenerates that argument as numbers: off-chip bytes,
+transfer time, and energy for both schedules across N."""
+
+from conftest import record
+from repro.accel.dram import (
+    DramModel,
+    decomposed_ntt_traffic,
+    decomposition_advantage,
+    naive_ntt_traffic,
+)
+
+SRAM_BYTES = 1 << 20  # 1 MiB scratchpad
+DRAM = DramModel()
+
+
+def sweep():
+    rows = []
+    for log_n in [14, 16, 18, 20, 22]:
+        n = 1 << log_n
+        naive = naive_ntt_traffic(n, SRAM_BYTES, DRAM)
+        decomposed = decomposed_ntt_traffic(n, 64, SRAM_BYTES, DRAM)
+        rows.append((log_n, naive, decomposed))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [f"{'N':>6s} {'naive MB':>10s} {'eff':>6s} {'4-step MB':>10s} "
+             f"{'ratio':>7s} {'naive uJ':>9s} {'4-step uJ':>10s}"]
+    for log_n, naive, decomposed in rows:
+        ratio = naive.burst_bytes_moved / decomposed.burst_bytes_moved
+        lines.append(
+            f"2^{log_n:<4d} {naive.burst_bytes_moved / 2**20:10.1f} "
+            f"{100 * naive.burst_efficiency:5.0f}% "
+            f"{decomposed.burst_bytes_moved / 2**20:10.1f} {ratio:6.1f}x "
+            f"{DRAM.energy_nj(naive.burst_bytes_moved) / 1e3:9.1f} "
+            f"{DRAM.energy_nj(decomposed.burst_bytes_moved) / 1e3:10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_decomposition_motivation(benchmark, results_dir):
+    rows = benchmark(sweep)
+    record(results_dir, "decomposition_motivation", render(rows))
+    # On-chip sizes: both schedules are equivalent.
+    small_naive, small_dec = rows[0][1], rows[0][2]
+    assert small_naive.burst_bytes_moved == small_dec.burst_bytes_moved
+    # Off-chip sizes: order-of-magnitude traffic savings (§II-B).
+    assert decomposition_advantage(1 << 20, 64, SRAM_BYTES, DRAM) > 10

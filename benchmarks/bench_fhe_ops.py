@@ -1,0 +1,68 @@
+"""End-to-end FHE operation benchmarks (the workload of §II-A).
+
+Times HAdd / HMult / HRot at N = 4096 with six RNS limbs on the numpy
+kernel path, and records the per-op makespan the accelerator scheduler
+predicts for the same operations on an 8-VPU chip."""
+
+import numpy as np
+import pytest
+
+from conftest import record
+from repro.accel import Accelerator
+from repro.fhe.ckks import CkksContext
+from repro.fhe.params import CkksParams
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = CkksContext(CkksParams(n=4096, levels=6), seed=1)
+    context.generate_galois_keys([1])
+    return context
+
+
+@pytest.fixture(scope="module")
+def cts(ctx):
+    rng = np.random.default_rng(0)
+    z1 = rng.uniform(-1, 1, ctx.params.slots)
+    z2 = rng.uniform(-1, 1, ctx.params.slots)
+    return ctx.encrypt(z1), ctx.encrypt(z2), z1, z2
+
+
+def test_hadd(benchmark, ctx, cts):
+    ct1, ct2, z1, z2 = cts
+    out = benchmark(ctx.add, ct1, ct2)
+    np.testing.assert_allclose(ctx.decrypt(out), z1 + z2, atol=1e-3)
+
+
+def test_hmult(benchmark, ctx, cts):
+    ct1, ct2, z1, z2 = cts
+    out = benchmark(ctx.multiply, ct1, ct2)
+    np.testing.assert_allclose(ctx.decrypt(out), z1 * z2, atol=2e-3)
+
+
+def test_hrot(benchmark, ctx, cts):
+    ct1, _, z1, _ = cts
+    out = benchmark(ctx.rotate, ct1, 1)
+    np.testing.assert_allclose(ctx.decrypt(out), np.roll(z1, -1), atol=2e-3)
+
+
+def test_accelerator_makespan(benchmark, results_dir):
+    acc = Accelerator(num_vpus=8, lanes=64)
+
+    def schedule():
+        return {
+            "HMult": Accelerator.total_makespan(acc.schedule_hmult(4096, 5)),
+            "HRot": Accelerator.total_makespan(acc.schedule_hrot(4096, 5)),
+            "HAdd": acc.schedule_elementwise(4096, 6).makespan_cycles,
+        }
+
+    spans = benchmark(schedule)
+    chip = acc.cost()
+    record(
+        results_dir, "fhe_ops_makespan",
+        "\n".join([f"{op:6s}: {cycles:7d} cycles @1GHz on 8x64-lane VPUs"
+                   for op, cycles in spans.items()]
+                  + [f"chip: {chip.area_um2 / 1e6:.2f} mm^2, "
+                     f"{chip.power_mw / 1e3:.2f} W"]),
+    )
+    assert spans["HAdd"] < spans["HRot"] <= spans["HMult"] * 2

@@ -1,0 +1,46 @@
+"""Implementation-detail artifacts: roofline placement and compiled-
+program analysis.
+
+Not a paper table — these are the secondary artifacts an accelerator
+paper's implementation section reports, generated from the same models:
+where each FHE op sits against the scratchpad roofline, and what the
+compiled NTT/automorphism programs demand of the register files."""
+
+from conftest import record
+from repro.accel import Accelerator
+from repro.automorphism import paper_sigma
+from repro.mapping import (
+    analyze_program,
+    compile_automorphism,
+    compile_ntt,
+    render_analysis,
+    required_registers,
+)
+from repro.perf.roofline import render_roofline, roofline_table
+
+Q = 998244353
+
+
+def build_artifacts():
+    acc = Accelerator(num_vpus=8, lanes=64)
+    roofline = roofline_table(acc)
+    ntt_analysis = analyze_program(compile_ntt(4096, 64, Q))
+    autom_analysis = analyze_program(
+        compile_automorphism(paper_sigma(4096, 3), 64))
+    return roofline, ntt_analysis, autom_analysis
+
+
+def test_implementation_details(benchmark, results_dir):
+    roofline, ntt_a, autom_a = benchmark(build_artifacts)
+    record(
+        results_dir, "implementation_details",
+        render_roofline(roofline) + "\n\n"
+        + render_analysis(ntt_a, "NTT-4096 on 64 lanes") + "\n\n"
+        + render_analysis(autom_a, "automorphism-4096 on 64 lanes"),
+    )
+    # Compiled programs honour the declared register budget.
+    assert ntt_a.register_pressure <= required_registers(64)
+    assert autom_a.register_pressure <= 2
+    # The automorphism program is pure data movement: no arithmetic.
+    assert autom_a.multiplier_ops == 0 and autom_a.adder_ops == 0
+    assert autom_a.network_passes == 4096 // 64

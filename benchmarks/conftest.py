@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figure-level claims
+and records the reproduced numbers under ``benchmarks/out/`` so that
+EXPERIMENTS.md can be refreshed from a single run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Write one reproduced table to disk and echo it to the terminal."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

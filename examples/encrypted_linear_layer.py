@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Private inference: an encrypted linear layer (matrix-vector product).
+
+Homomorphic matrix-vector products use the Halevi–Shoup diagonal method:
+``y = sum_d diag_d(W) * rot(x, d)`` — one rotation and one plaintext
+multiply per nonzero diagonal.  Rotations dominate, which is exactly why
+the paper's single-pass automorphism matters for private ML inference.
+
+Run:  python examples/encrypted_linear_layer.py
+"""
+
+import numpy as np
+
+from repro.fhe.ckks import CkksContext
+from repro.fhe.params import CkksParams
+
+
+def diagonal(matrix: np.ndarray, d: int) -> np.ndarray:
+    """The d-th generalized diagonal: ``diag_d[i] = W[i][(i + d) % n]``."""
+    n = matrix.shape[0]
+    i = np.arange(n)
+    return matrix[i, (i + d) % n]
+
+
+def encrypted_matvec(ctx, ct_x, matrix, slots):
+    """Halevi–Shoup: y = sum_d diag_d * rot(x, d)."""
+    n = matrix.shape[0]
+    acc = None
+    for d in range(n):
+        diag = diagonal(matrix, d)
+        if not diag.any():
+            continue
+        padded = np.zeros(slots)
+        padded[:n] = diag
+        rotated = ctx.rotate(ct_x, d) if d else ct_x
+        term = ctx.multiply_plain(rotated, padded)
+        acc = term if acc is None else ctx.add(acc, term)
+    return acc
+
+
+def main() -> None:
+    params = CkksParams(n=2048, levels=3, scale_bits=26, prime_bits=29)
+    ctx = CkksContext(params, seed=5)
+    dim = 16  # layer width
+    ctx.generate_galois_keys(list(range(1, dim)))
+
+    rng = np.random.default_rng(3)
+    weights = rng.normal(0, 0.4, (dim, dim))
+    x = rng.uniform(-1, 1, dim)
+
+    # The input vector must tile the slot ring so cyclic slot rotations
+    # emulate the length-`dim` rotations the diagonal method needs.
+    tiled = np.tile(x, params.slots // dim)
+    ct_x = ctx.encrypt(tiled)
+    print(f"encrypted a {dim}-dim activation (tiled over {params.slots} slots)")
+
+    ct_y = encrypted_matvec(ctx, ct_x, weights, params.slots)
+    y = ctx.decrypt(ct_y)[:dim].real
+    expected = weights @ x
+    err = np.abs(y - expected).max()
+    print(f"encrypted W@x ({dim}x{dim}, {dim} rotations): max err {err:.2e}")
+    assert err < 1e-2
+    for i in range(4):
+        print(f"  y[{i}] = {y[i]:+.5f}   (plaintext {expected[i]:+.5f})")
+    print("linear layer evaluated without decrypting the activations.")
+
+
+if __name__ == "__main__":
+    main()

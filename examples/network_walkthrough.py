@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""A guided walk through the inter-lane network (paper Figs. 2 and §IV-B).
+
+Reproduces the paper's m = 8 worked example step by step: the CG stage
+pairing butterfly operands, the per-cycle shift-stage control signals,
+the recursive automorphism decomposition into strided shifts, and the
+merge into a single network traversal.
+
+Run:  python examples/network_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.automorphism import (
+    AffinePermutation,
+    affine_controls,
+    control_table_size_bits,
+    merge_shifts,
+    recursive_shift_decomposition,
+)
+from repro.core import InterLaneNetwork, NetworkConfig
+
+M = 8
+
+
+def fmt(a):
+    return [int(v) for v in a]
+
+
+def main() -> None:
+    net = InterLaneNetwork(M)
+    x = np.arange(M)
+    print(f"inter-lane network, m = {M}: {net.stage_count} stages "
+          f"(2 CG + {M.bit_length() - 1} shift), "
+          f"{net.control_bit_count} live control bits\n")
+
+    # --- 1. the constant-geometry stage -------------------------------
+    print("1. CG-DIF stage: gathers butterfly pairs (j, j+m/2) into")
+    print("   adjacent lanes -- the same wiring serves every NTT stage:")
+    gathered = net.traverse(x, NetworkConfig(cg="dif"))
+    print(f"   in : {fmt(x)}")
+    print(f"   out: {fmt(gathered)}   (pairs: "
+          + ", ".join(f"({gathered[2*j]},{gathered[2*j+1]})" for j in range(M // 2))
+          + ")\n")
+
+    # --- 2. the paper's independent-group shift example -----------------
+    # §IV-B: sub-columns [0,2,4,6] -> [4,6,0,2] and [1,3,5,7] -> [7,1,3,5]:
+    # distances 4 for the evens, 6 for the odds, in one traversal.
+    from repro.automorphism import route_distance_map
+
+    print("2. the paper's m=8 example: even lanes move distance 4,")
+    print("   odd lanes distance 6 upward (= 2 downward in this library's")
+    print("   convention), merged into one traversal:")
+    distances = np.array([4, 2] * (M // 2))
+    controls = route_distance_map(M, distances)
+    for b in reversed(range(len(controls.group_bits))):
+        print(f"     distance {1 << b}: signals {list(controls.group_bits[b])}")
+    out = net.traverse(x, NetworkConfig(shift=controls))
+    print(f"   {fmt(x)} -> {fmt(out)}")
+    assert fmt(out[0::2]) == [4, 6, 0, 2]
+    assert fmt(out[1::2]) == [7, 1, 3, 5]
+    print("   evens [4,6,0,2] and odds [7,1,3,5], as in the paper.\n")
+
+    # --- 3. a real automorphism: recursive decomposition + merge --------
+    sigma = AffinePermutation(M, 5)
+    print("3. automorphism sigma(i) = 5*i mod 8 decomposed recursively")
+    print("   (C'=2 columns until the multiplier collapses to 1):")
+    shifts = recursive_shift_decomposition(sigma)
+    for s in shifts:
+        sub = list(range(s.offset, M, s.stride))
+        print(f"   stride {s.stride} offset {s.offset}: lanes {sub} "
+              f"shift by {s.amount} sub-slot(s)")
+    merged = merge_shifts(shifts, M)
+    print(f"   merged per-element distances: {fmt(merged)}")
+    controls = affine_controls(M, sigma.multiplier)
+    out = net.traverse(x, NetworkConfig(shift=controls))
+    assert np.array_equal(out, sigma.apply(x))
+    print(f"   one traversal: {fmt(x)} -> {fmt(out)}\n")
+
+    # --- 4. the pre-generated control table ----------------------------
+    print("4. control storage (paper §IV-B):")
+    print(f"   m/2 = {M // 2} distinct automorphisms x (m-1) = {M - 1} bits"
+          f" = {control_table_size_bits(M)} bits total")
+    print(f"   (at m = 64: {control_table_size_bits(64)} bits ~ 2 kbit, "
+          "'a small area cost')")
+
+
+if __name__ == "__main__":
+    main()

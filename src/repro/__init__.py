@@ -1,0 +1,31 @@
+"""uvpu-fhe: a reproduction of "A Unified Vector Processing Unit for Fully
+Homomorphic Encryption" (DATE 2025).
+
+Subpackages
+-----------
+``repro.arith``
+    Modular arithmetic (Barrett/Montgomery datapaths, NTT primes).
+``repro.ntt``
+    NTT algorithms: reference, Cooley–Tukey, Pease constant-geometry,
+    negacyclic, multi-dimensional decomposition.
+``repro.automorphism``
+    Galois/automorphism index maps, the paper's shift decomposition, and
+    shift-network control-signal generation.
+``repro.core``
+    The unified VPU: lanes, register files, the inter-lane network
+    (CG + shift stages), the vector ISA and the cycle-counting executor.
+``repro.mapping``
+    Compilers from NTT/automorphism/transpose operations to VPU programs.
+``repro.perf``
+    Analytic cycle/utilization models (paper Table III).
+``repro.hwmodel``
+    7 nm area/power models of all datapath components (paper Tables II/IV).
+``repro.baselines``
+    The F1 / BTS / ARK / SHARP permutation units the paper compares with.
+``repro.fhe``
+    A full RNS-CKKS library exercising the VPU with real FHE workloads.
+``repro.accel``
+    Multi-VPU accelerator top level (NoC + on-chip SRAM + scheduler).
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,64 @@
+"""Ring network-on-chip between the VPUs and the scratchpad.
+
+A deliberately simple model: unidirectional ring, one 64-bit-word flit
+per link per cycle, per-hop latency and energy.  Polynomial limbs are
+large sequential transfers, so bandwidth (not latency) dominates and a
+ring is the common choice in FHE accelerators of this scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hwmodel import technology as tech
+from repro.hwmodel.components import CostReport
+
+
+@dataclass
+class RingNoc:
+    """A unidirectional word-wide ring with ``nodes`` stops."""
+
+    nodes: int
+    link_words: int = 8
+    hop_latency: int = 1
+    total_flits: int = field(default=0, init=False)
+    total_hops: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError(f"a ring needs >= 2 nodes, got {self.nodes}")
+        if self.link_words <= 0:
+            raise ValueError("link_words must be positive")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count from src to dst on the unidirectional ring."""
+        self._check_node(src)
+        self._check_node(dst)
+        return (dst - src) % self.nodes
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range [0, {self.nodes})")
+
+    def transfer_cycles(self, src: int, dst: int, words: int) -> int:
+        """Cycles to move ``words`` 64-bit words from src to dst.
+
+        Pipelined: head latency = hops, then ``link_words`` words drain
+        per cycle.
+        """
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        if words == 0 or src == dst:
+            return 0
+        h = self.hops(src, dst)
+        flits = -(-words // self.link_words)
+        self.total_flits += flits
+        self.total_hops += flits * h
+        return h * self.hop_latency + flits - 1
+
+    def cost(self) -> CostReport:
+        """Links priced as word-wide wire+mux structures per node."""
+        per_node = (self.link_words * 64 * tech.MUX2_AREA_PER_BIT * 4,
+                    self.link_words * 64 * tech.MUX2_POWER_PER_BIT * 2)
+        return CostReport(per_node[0] * self.nodes, per_node[1] * self.nodes,
+                          f"ring NoC ({self.nodes} nodes)")

@@ -1,0 +1,75 @@
+"""Banked on-chip SRAM model.
+
+The accelerator's scratchpad caches ciphertext limbs "for maximum reuse"
+(paper Fig. 1a).  The model tracks capacity, per-cycle bandwidth, and
+access energy; the scheduler charges it for every vector row moved in or
+out of a VPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hwmodel.components import CostReport
+from repro.hwmodel.sram import SramMacro
+
+
+@dataclass
+class OnChipSram:
+    """The shared scratchpad.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity (default 4 MiB, enough for several N=4096
+        six-limb ciphertexts).
+    banks:
+        Independently addressable banks; aggregate bandwidth is
+        ``banks * words_per_bank_per_cycle`` 64-bit words per cycle.
+    words_per_bank_per_cycle:
+        Port width of each bank in 64-bit words.
+    """
+
+    capacity_bytes: int = 4 << 20
+    banks: int = 16
+    words_per_bank_per_cycle: int = 64
+    reads: int = field(default=0, init=False)
+    writes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.banks <= 0:
+            raise ValueError("capacity and banks must be positive")
+
+    @property
+    def words_per_cycle(self) -> int:
+        """Aggregate 64-bit words deliverable per cycle."""
+        return self.banks * self.words_per_bank_per_cycle
+
+    def access_cycles(self, words: int, write: bool = False) -> int:
+        """Cycles to stream ``words`` 64-bit words (ideal banking)."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        if write:
+            self.writes += words
+        else:
+            self.reads += words
+        return -(-words // self.words_per_cycle)
+
+    def fits(self, words: int) -> bool:
+        """Whether a working set of 64-bit words fits on chip."""
+        return words * 8 <= self.capacity_bytes
+
+    def cost(self) -> CostReport:
+        """Area/power via the shared SRAM macro model (one macro/bank)."""
+        per_bank_bits = (self.capacity_bytes * 8) // self.banks
+        macro = SramMacro(
+            bits=per_bank_bits,
+            io_bits=self.words_per_bank_per_cycle * 64,
+            ports=1,
+            duty=0.5,
+            label="scratchpad bank",
+        )
+        bank = macro.cost()
+        return CostReport(bank.area_um2 * self.banks,
+                          bank.power_mw * self.banks,
+                          f"on-chip SRAM ({self.capacity_bytes >> 20} MiB)")

@@ -1,0 +1,68 @@
+"""Montgomery modular multiplier, used as a design-space comparison point.
+
+The paper (§III-A) picks Barrett reduction for the lanes because FHE
+keyswitch performs base conversion between RNS moduli: residues produced
+under one modulus are immediately consumed under another, so a Montgomery
+representation would need explicit conversions at every hand-off.  We model
+Montgomery anyway so the ablation benchmark can quantify the conversion
+overhead that motivates that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arith.modular import mod_inverse
+
+
+@dataclass
+class MontgomeryReducer:
+    """Montgomery multiplier for an odd modulus ``q``.
+
+    Values are handled in Montgomery form ``a_mont = a * R mod q`` with
+    ``R = 2**width``.
+    """
+
+    q: int
+    width: int = field(init=False)
+    r: int = field(init=False)
+    r_mask: int = field(init=False)
+    q_inv_neg: int = field(init=False)
+    r_squared: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.q <= 2 or self.q % 2 == 0:
+            raise ValueError(f"Montgomery requires an odd modulus > 2, got {self.q}")
+        self.width = self.q.bit_length()
+        self.r = 1 << self.width
+        self.r_mask = self.r - 1
+        self.q_inv_neg = (-mod_inverse(self.q, self.r)) % self.r
+        self.r_squared = (self.r * self.r) % self.q
+
+    def to_mont(self, a: int) -> int:
+        """Convert ``a`` into Montgomery form (one REDC with R^2)."""
+        return self.redc((a % self.q) * self.r_squared)
+
+    def from_mont(self, a_mont: int) -> int:
+        """Convert a Montgomery-form value back to a plain residue."""
+        return self.redc(a_mont)
+
+    def redc(self, z: int) -> int:
+        """Montgomery reduction: return ``z * R^{-1} mod q`` for ``z < q*R``."""
+        if z < 0 or z >= self.q * self.r:
+            raise ValueError(f"REDC input out of range [0, q*R): {z}")
+        m = ((z & self.r_mask) * self.q_inv_neg) & self.r_mask
+        t = (z + m * self.q) >> self.width
+        return t - self.q if t >= self.q else t
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form values, result in Montgomery form."""
+        return self.redc(a_mont * b_mont)
+
+    def mul_plain(self, a: int, b: int) -> int:
+        """Multiply two plain residues (converting in and out).
+
+        This is the expensive pattern base conversion would force: three
+        REDC operations per useful multiply instead of one.
+        """
+        return self.from_mont(self.mul(self.to_mont(a), self.to_mont(b)))

@@ -1,0 +1,125 @@
+"""NTT-friendly prime search and primitive-root finding.
+
+NTT over ``Z_q`` of length ``n`` (power of two) needs a primitive ``n``-th
+root of unity, which exists iff ``n | q - 1``.  The negacyclic transform
+used by the CKKS ring ``Z_q[X]/(X^n + 1)`` needs a ``2n``-th root, i.e.
+``q === 1 (mod 2n)``.  This module finds such primes deterministically
+(Miller–Rabin with the proven deterministic witness set for q < 3.3e24)
+and locates generators / roots of unity.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+# Deterministic Miller-Rabin witnesses: correct for all n < 3,317,044,064,
+# 679,887,385,961,981 (> 2**64), per Sorenson & Webster.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, valid for all ``n < 2**64`` and
+    probabilistically overwhelming beyond."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _factorize(n: int) -> dict[int, int]:
+    """Trial-division factorization (adequate for q-1 of NTT primes,
+    which is ``2**k * small``)."""
+    factors: dict[int, int] = {}
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors[d] = factors.get(d, 0) + 1
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors
+
+
+def find_primitive_root(q: int) -> int:
+    """Return a generator of the multiplicative group of ``Z_q`` (q prime)."""
+    if not is_prime(q):
+        raise ValueError(f"{q} is not prime")
+    if q == 2:
+        return 1
+    group_order = q - 1
+    prime_factors = list(_factorize(group_order))
+    for candidate in range(2, q):
+        if all(pow(candidate, group_order // p, q) != 1 for p in prime_factors):
+            return candidate
+    raise ArithmeticError(f"no primitive root found for {q}")  # pragma: no cover
+
+
+def nth_root_of_unity(n: int, q: int) -> int:
+    """Return a primitive ``n``-th root of unity modulo prime ``q``.
+
+    Requires ``n | q - 1``.
+    """
+    if (q - 1) % n != 0:
+        raise ValueError(f"no order-{n} subgroup: {n} does not divide {q}-1")
+    g = find_primitive_root(q)
+    root = pow(g, (q - 1) // n, q)
+    # Sanity: root has exact order n.
+    if pow(root, n, q) != 1:
+        raise ArithmeticError("root order check failed")  # pragma: no cover
+    if n % 2 == 0 and pow(root, n // 2, q) == 1:
+        raise ArithmeticError("root is not primitive")  # pragma: no cover
+    return root
+
+
+@lru_cache(maxsize=None)
+def find_ntt_prime(order: int, bits: int, index: int = 0) -> int:
+    """Find the ``index``-th prime ``q === 1 (mod order)`` just below
+    ``2**bits``.
+
+    Searching downward keeps the primes as large as possible for the given
+    width, which maximizes CKKS precision per limb.
+    """
+    if order & (order - 1):
+        raise ValueError(f"order must be a power of two, got {order}")
+    if bits < order.bit_length() + 1:
+        raise ValueError(f"{bits} bits too small for order {order}")
+    found = 0
+    candidate = ((1 << bits) - 1) // order * order + 1
+    while candidate > order:
+        if candidate.bit_length() == bits and is_prime(candidate):
+            if found == index:
+                return candidate
+            found += 1
+        candidate -= order
+    raise ValueError(f"no {bits}-bit prime === 1 mod {order} at index {index}")
+
+
+def find_ntt_primes(order: int, bits: int, count: int) -> list[int]:
+    """Return ``count`` distinct primes ``=== 1 (mod order)`` of the given
+    bit width (descending)."""
+    return [find_ntt_prime(order, bits, i) for i in range(count)]

@@ -1,0 +1,164 @@
+"""Automorphism decomposition (paper §II-C and §IV-B).
+
+Two decompositions live here:
+
+* :func:`column_decompose` — the R x C decomposition of Eqs. (2)-(3):
+  columns map to columns as a whole (a small affine map on column
+  indices), and *within* each column the action is a small automorphism
+  combined with a column-dependent cyclic shift — again affine.
+
+* :func:`recursive_shift_decomposition` — the paper's key contribution:
+  recursively split with ``C' = 2`` until the residual multiplier is 1.
+  Because any odd ``k`` satisfies ``k === 1 (mod 2)``, every level's
+  column action is a *pure shift* of a strided subsequence, and the
+  length-2 base case is the identity.  The result is a list of
+  :class:`StridedShift` operations whose composition equals the original
+  automorphism — and which all merge into one traversal of the shift
+  network (:mod:`repro.automorphism.controls`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.automorphism.mapping import AffinePermutation
+
+
+@dataclass(frozen=True)
+class StridedShift:
+    """A cyclic shift of a strided subsequence.
+
+    Elements at global indices ``=== offset (mod stride)`` move down by
+    ``amount`` *positions within the subsequence*, i.e. a global index
+    distance of ``amount * stride``, cyclically within the subsequence.
+    """
+
+    n: int
+    stride: int
+    offset: int
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0 or self.n % self.stride:
+            raise ValueError(f"stride {self.stride} invalid for n={self.n}")
+        if not 0 <= self.offset < self.stride:
+            raise ValueError(f"offset {self.offset} out of range")
+
+    @property
+    def subsequence_length(self) -> int:
+        return self.n // self.stride
+
+    def global_distance(self) -> int:
+        """The common global shift distance ``amount * stride mod n``."""
+        return (self.amount % self.subsequence_length) * self.stride
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Apply the strided shift to a vector."""
+        x = np.asarray(x)
+        if len(x) != self.n:
+            raise ValueError(f"expected length {self.n}, got {len(x)}")
+        out = x.copy()
+        sub = x[self.offset :: self.stride]
+        out[self.offset :: self.stride] = np.roll(sub, self.amount % len(sub))
+        return out
+
+
+def column_decompose(
+    perm: AffinePermutation, rows: int
+) -> tuple[AffinePermutation, list[AffinePermutation]]:
+    """Split an affine permutation on ``N = R x C`` (row-major) elements.
+
+    Returns ``(column_map, row_maps)`` where ``column_map`` is the affine
+    action on the ``C`` column indices (Eq. 3 generalized) and
+    ``row_maps[c]`` is the affine action on the ``R`` elements of source
+    column ``c`` (Eq. 2 generalized: small automorphism + cyclic shift).
+
+    Semantics: source element ``(row, c)`` ends up at
+    ``(row_maps[c].dest(row), column_map.dest(c))``.
+    """
+    n, k, s = perm.n, perm.multiplier, perm.offset
+    if n % rows:
+        raise ValueError(f"rows={rows} does not divide n={n}")
+    cols = n // rows
+    if cols & (cols - 1) or rows & (rows - 1):
+        raise ValueError("rows and columns must be powers of two")
+    column_map = AffinePermutation(cols, k % cols, s % cols) if cols > 1 else (
+        AffinePermutation(1, 1, 0)
+    )
+    row_maps = []
+    for c in range(cols):
+        # dest(row*C + c) = k*C*row + (k*c + s)  (mod R*C)
+        # row' = (k*row + floor((k*c + s) / C)) mod R
+        shift = (k * c + s) // cols
+        row_maps.append(
+            AffinePermutation(rows, k % rows, shift % rows) if rows > 1
+            else AffinePermutation(1, 1, 0)
+        )
+    return column_map, row_maps
+
+
+def recursive_shift_decomposition(perm: AffinePermutation) -> list[StridedShift]:
+    """Decompose an affine permutation into strided cyclic shifts.
+
+    The returned shifts, applied in list order, reproduce ``perm`` exactly
+    (verified by :func:`merge_shifts` and the test-suite).  The recursion
+    is the paper's: split into two columns (even/odd indices); the column
+    action's multiplier ``k mod 2`` is always 1, so each column only needs
+    a shift plus a recursively-decomposed half-length automorphism.
+    """
+    shifts: list[StridedShift] = []
+    _decompose(perm.n, perm.multiplier, perm.offset, stride=1, offset=0, out=shifts)
+    return shifts
+
+
+def _decompose(
+    n: int, k: int, s: int, stride: int, offset: int, out: list[StridedShift]
+) -> None:
+    """Decompose ``i -> k*i + s mod n`` acting on the subsequence at
+    ``offset (mod stride)`` of a length-``n * stride`` global vector."""
+    total = n * stride
+    k %= n if n > 0 else 1
+    s %= n if n > 0 else 1
+    if n <= 1:
+        return
+    if k == 1:
+        # Pure cyclic shift of the whole subsequence.
+        if s:
+            out.append(StridedShift(total, stride, offset, s))
+        return
+    if s % 2:
+        # Peel a unit shift so the column split keeps columns in place.
+        _decompose(n, k, s - 1, stride, offset, out)
+        out.append(StridedShift(total, stride, offset, 1))
+        return
+    # Split into C' = 2 columns: col = i mod 2 (global stride doubles).
+    # Column c: row' = (k*row + (k*c + s)//2) mod n/2.
+    for c in range(2):
+        _decompose(
+            n // 2,
+            k,
+            (k * c + s) // 2,
+            stride * 2,
+            offset + c * stride,
+            out,
+        )
+
+
+def merge_shifts(shifts: list[StridedShift], n: int) -> np.ndarray:
+    """Compose strided shifts into one per-element distance map.
+
+    Returns ``distance`` with ``dest(i) = (i + distance[i]) mod n``; the
+    paper's merging step (§IV-B): since each element belongs to exactly
+    one subsequence per level, the distances simply add.
+    """
+    position = np.arange(n, dtype=np.int64)
+    for shift in shifts:
+        if shift.n != n:
+            raise ValueError(f"shift length {shift.n} != {n}")
+        position = shift.apply(position)
+    # position[j] == original index now at slot j; invert to distances.
+    dest = np.empty(n, dtype=np.int64)
+    dest[position] = np.arange(n, dtype=np.int64)
+    return (dest - np.arange(n, dtype=np.int64)) % n

@@ -1,0 +1,154 @@
+"""Galois/automorphism index maps.
+
+The paper's Eq. (1) moves the element at index ``i`` to position
+``i * Phi^r mod N``.  The exact CKKS evaluation-domain Galois action is
+the slightly more general **affine** map ``i -> k*i + s (mod N)`` with an
+odd multiplier — and the odd multiplier is all the hardware needs: every
+result in :mod:`repro.automorphism.controls` (single-pass routing through
+the shift network) holds for the whole affine family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.modular import mod_inverse
+
+
+def _check_power_of_two(n: int) -> None:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"length must be a positive power of two, got {n}")
+
+
+@dataclass(frozen=True)
+class AffinePermutation:
+    """The permutation ``i -> (multiplier * i + offset) mod n``.
+
+    ``n`` is a power of two and ``multiplier`` odd, which makes the map a
+    bijection.  Semantics follow the paper's Eq. (1): the element at
+    index ``i`` *moves to* ``dest(i)``.
+    """
+
+    n: int
+    multiplier: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.n)
+        if self.multiplier % 2 == 0:
+            raise ValueError(f"multiplier must be odd, got {self.multiplier}")
+        object.__setattr__(self, "multiplier", self.multiplier % self.n)
+        object.__setattr__(self, "offset", self.offset % self.n)
+
+    def dest(self, i: int) -> int:
+        """Position the element at index ``i`` moves to."""
+        return (self.multiplier * i + self.offset) % self.n
+
+    def destinations(self) -> np.ndarray:
+        """Vector of destinations: ``dest(i)`` for all ``i``."""
+        i = np.arange(self.n, dtype=np.int64)
+        return (self.multiplier * i + self.offset) % self.n
+
+    def source(self, j: int) -> int:
+        """Index of the element that lands at position ``j``."""
+        k_inv = mod_inverse(self.multiplier, self.n)
+        return (j - self.offset) * k_inv % self.n
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Permute ``x``: ``out[dest(i)] = x[i]``."""
+        x = np.asarray(x)
+        if len(x) != self.n:
+            raise ValueError(f"expected length {self.n}, got {len(x)}")
+        out = np.empty_like(x)
+        out[self.destinations()] = x
+        return out
+
+    def inverse(self) -> AffinePermutation:
+        """The inverse permutation (also affine with odd multiplier)."""
+        k_inv = mod_inverse(self.multiplier, self.n)
+        return AffinePermutation(self.n, k_inv, (-k_inv * self.offset) % self.n)
+
+    def compose(self, first: AffinePermutation) -> AffinePermutation:
+        """Return ``self after first``: apply ``first``, then ``self``."""
+        if first.n != self.n:
+            raise ValueError(f"length mismatch: {first.n} vs {self.n}")
+        # dest(i) = k2*(k1*i + s1) + s2
+        return AffinePermutation(
+            self.n,
+            self.multiplier * first.multiplier % self.n,
+            (self.multiplier * first.offset + self.offset) % self.n,
+        )
+
+    def is_identity(self) -> bool:
+        return self.multiplier == 1 and self.offset == 0
+
+    def shift_distances(self) -> np.ndarray:
+        """Per-element cyclic shift distance ``(dest(i) - i) mod n``.
+
+        The quantity the shift-network router consumes; for an affine map
+        its bit ``b`` depends only on ``i mod 2^b`` (because ``k - 1`` is
+        even), which is exactly why one network pass suffices.
+        """
+        i = np.arange(self.n, dtype=np.int64)
+        return (self.destinations() - i) % self.n
+
+
+def paper_sigma(n: int, r: int, phi: int = 5) -> AffinePermutation:
+    """The paper's Eq. (1): ``sigma_{Phi,r}: i -> i * Phi^r mod N``."""
+    _check_power_of_two(n)
+    if phi % 2 == 0:
+        raise ValueError(f"Phi must be odd (co-prime to N), got {phi}")
+    return AffinePermutation(n, pow(phi, r, n), 0)
+
+
+def galois_element_for_rotation(n: int, r: int, phi: int = 5) -> int:
+    """The Galois element ``k = Phi^r mod 2n`` implementing an ``r``-slot
+    homomorphic rotation on the degree-``n`` ring (X -> X^k)."""
+    _check_power_of_two(n)
+    return pow(phi, r, 2 * n)
+
+
+def galois_eval_permutation(n: int, k: int) -> AffinePermutation:
+    """Evaluation-domain permutation of the Galois action ``X -> X^k``.
+
+    With natural-order evaluation vectors (slot ``i`` holds
+    ``p(psi^(2i+1))``, see :class:`repro.ntt.NegacyclicNtt`), the value at
+    slot ``j`` moves to every slot ``i`` with ``(2i+1)k === 2j+1 (mod 2n)``,
+    i.e. the *move map* is affine:
+
+    ``dest(j) = k^{-1} * (j - (k-1)/2) mod n``.
+
+    ``k`` must be odd (a unit mod ``2n``).
+    """
+    _check_power_of_two(n)
+    if k % 2 == 0:
+        raise ValueError(f"Galois element must be odd, got {k}")
+    k_inv = mod_inverse(k % (2 * n), 2 * n) % n
+    # dest(j) = k_inv * j - k_inv*(k-1)/2  (mod n)
+    offset = (-k_inv * ((k - 1) // 2)) % n
+    return AffinePermutation(n, k_inv, offset)
+
+
+def apply_galois_coeffs(coeffs: np.ndarray, k: int, q: int) -> np.ndarray:
+    """Coefficient-domain automorphism on ``Z_q[X]/(X^n + 1)``.
+
+    ``p(X) -> p(X^k)``: coefficient ``i`` moves to degree ``i*k mod 2n``,
+    with a sign flip when the exponent wraps past ``n`` (since
+    ``X^n = -1``).
+    """
+    coeffs = np.asarray(coeffs)
+    n = len(coeffs)
+    _check_power_of_two(n)
+    if k % 2 == 0:
+        raise ValueError(f"Galois element must be odd, got {k}")
+    i = np.arange(n, dtype=np.int64)
+    e = (i * (k % (2 * n))) % (2 * n)
+    qq = q if coeffs.dtype == object else np.uint64(q)
+    reduced = coeffs % qq
+    negated = (qq - reduced) % qq
+    # i -> i*k mod 2n is injective for odd k, so plain scatter suffices.
+    out = np.empty_like(reduced)
+    out[e % n] = np.where(e < n, reduced, negated)
+    return out

@@ -1,0 +1,138 @@
+"""Benes rearrangeable permutation network.
+
+ARK's (and SHARP's) dedicated automorphism unit is a complex multi-stage
+permutation network; we model it as a Benes network — the canonical
+minimal multi-stage network that can realize *any* permutation — with the
+classic looping route algorithm.
+
+A Benes network on ``n = 2^k`` terminals has ``2k - 1`` columns of
+``n/2`` two-by-two switches: an input column, two recursive half-size
+sub-networks (drawn as the middle columns), and an output column.
+Compare with the paper's unified network: ``log2 m`` shift stages suffice
+for the automorphism family because automorphisms are *affine*, while the
+Benes pays nearly double the stages for full generality it never uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BenesNetwork:
+    """A Benes network on ``n`` terminals (``n`` a power of two, >= 2)."""
+
+    def __init__(self, n: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"n must be a power of two >= 2, got {n}")
+        self.n = n
+
+    @property
+    def stage_count(self) -> int:
+        """Number of switch columns: ``2*log2(n) - 1``."""
+        return 2 * (self.n.bit_length() - 1) - 1
+
+    @property
+    def switch_count(self) -> int:
+        """Total 2x2 switches: ``(n/2) * stage_count``."""
+        return (self.n // 2) * self.stage_count
+
+    def route(self, dest: np.ndarray) -> dict:
+        """Compute switch settings realizing ``out[dest[i]] = in[i]``.
+
+        Returns a nested settings structure consumed by :meth:`apply`.
+        Raises :class:`ValueError` if ``dest`` is not a permutation.
+        """
+        dest = np.asarray(dest, dtype=np.int64)
+        if sorted(dest.tolist()) != list(range(self.n)):
+            raise ValueError("dest is not a permutation")
+        return _route(dest.tolist())
+
+    def apply(self, x: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        """Permute ``x`` through the network: ``out[dest[i]] = x[i]``."""
+        x = np.asarray(x)
+        if len(x) != self.n:
+            raise ValueError(f"expected length {self.n}, got {len(x)}")
+        settings = self.route(dest)
+        return np.asarray(_apply(settings, list(x)))
+
+
+def _route(dest: list[int]) -> dict:
+    """Looping algorithm.  ``dest[i]`` is the output for input ``i``."""
+    n = len(dest)
+    if n == 2:
+        return {"n": 2, "cross": dest[0] == 1}
+
+    half = n // 2
+    # Color each input 0 (top subnet) or 1 (bottom subnet) such that the
+    # two members of every input pair {2i, 2i+1} and every output pair
+    # differ.  Walk the constraint cycles.
+    color = [-1] * n
+    inv = [0] * n
+    for i, d in enumerate(dest):
+        inv[d] = i
+    for start in range(n):
+        if color[start] != -1:
+            continue
+        node = start
+        color[node] = 0
+        while True:
+            # Input-pair partner must take the other subnet...
+            partner_in = node ^ 1
+            if color[partner_in] != -1:
+                break
+            color[partner_in] = 1 - color[node]
+            # ...and the input sharing its *output* pair the other again.
+            partner_out = inv[dest[partner_in] ^ 1]
+            if color[partner_out] != -1:
+                break
+            color[partner_out] = 1 - color[partner_in]
+            node = partner_out
+
+    in_cross = [False] * half
+    out_cross = [False] * half
+    top_dest = [0] * half
+    bot_dest = [0] * half
+    for i in range(half):
+        a, b = 2 * i, 2 * i + 1
+        # The top-colored element leaves through the switch's top port
+        # into top-subnet position i.
+        in_cross[i] = color[a] == 1
+        top_elem = a if color[a] == 0 else b
+        bot_elem = b if color[a] == 0 else a
+        top_dest[i] = dest[top_elem] // 2
+        bot_dest[i] = dest[bot_elem] // 2
+        # Output switch j takes the top subnet's output j on its top port.
+        j_top, want_top = dest[top_elem] // 2, dest[top_elem] % 2
+        out_cross[j_top] = want_top == 1
+    return {
+        "n": n,
+        "in_cross": in_cross,
+        "out_cross": out_cross,
+        "top": _route(top_dest),
+        "bottom": _route(bot_dest),
+    }
+
+
+def _apply(settings: dict, x: list) -> list:
+    n = settings["n"]
+    if n == 2:
+        return [x[1], x[0]] if settings["cross"] else list(x)
+    half = n // 2
+    top_in = [None] * half
+    bot_in = [None] * half
+    for i in range(half):
+        a, b = x[2 * i], x[2 * i + 1]
+        if settings["in_cross"][i]:
+            a, b = b, a
+        top_in[i] = a
+        bot_in[i] = b
+    top_out = _apply(settings["top"], top_in)
+    bot_out = _apply(settings["bottom"], bot_in)
+    out = [None] * n
+    for j in range(half):
+        a, b = top_out[j], bot_out[j]
+        if settings["out_cross"][j]:
+            a, b = b, a
+        out[2 * j] = a
+        out[2 * j + 1] = b
+    return out

@@ -1,0 +1,42 @@
+"""Full crossbar switch (the BTS approach).
+
+A crossbar realizes any permutation — or any partial mapping — in a
+single pass by direct addressing, which is how BTS performs both its NTT
+transposes and its automorphisms.  The price is ``O(m^2)`` crosspoints
+and long wires, the scaling the paper's Table II quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Crossbar:
+    """An ``n x n`` crossbar."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError(f"n must be >= 2, got {n}")
+        self.n = n
+
+    @property
+    def crosspoint_count(self) -> int:
+        return self.n * self.n
+
+    def permute(self, x: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        """One-pass permutation: ``out[dest[i]] = x[i]``."""
+        x = np.asarray(x)
+        dest = np.asarray(dest, dtype=np.int64)
+        if len(x) != self.n or len(dest) != self.n:
+            raise ValueError(f"expected length {self.n}")
+        if sorted(dest.tolist()) != list(range(self.n)):
+            raise ValueError("dest is not a permutation")
+        out = np.empty_like(x)
+        out[dest] = x
+        return out
+
+    def total_wire_lanes(self, dest: np.ndarray) -> int:
+        """Sum of lane distances traversed — the power-relevant metric."""
+        dest = np.asarray(dest, dtype=np.int64)
+        src = np.arange(self.n, dtype=np.int64)
+        return int(np.abs(dest - src).sum())

@@ -1,0 +1,111 @@
+"""The full inter-lane network (paper Fig. 2).
+
+Stage order matches the figure: the DIT constant-geometry stage, the DIF
+constant-geometry stage, then ``log2 m`` shift stages of decreasing
+distance ``m/2, m/4, ..., 1``.  At ``m = 4`` the two CG stages coincide
+and the hardware merges them; the model keeps one stage object and
+accepts either CG activation.
+
+One traversal is configured by a :class:`NetworkConfig`: at most one CG
+stage active (they gather/scatter conflicting patterns) and a
+:class:`~repro.automorphism.controls.ShiftControls` word for the shift
+stages.  Inactive stages pass lanes straight through — the clock-gating
+that the power model credits the unified design for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.automorphism.controls import ShiftControls
+from repro.core.stages import CgStage, ShiftStage
+
+
+def _identity_controls(m: int) -> ShiftControls:
+    log_m = m.bit_length() - 1
+    return ShiftControls(m, tuple(tuple(0 for _ in range(1 << b))
+                                  for b in range(log_m)))
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of one network traversal.
+
+    Attributes
+    ----------
+    cg:
+        ``None`` (both CG stages inactive), ``"dit"`` or ``"dif"``.
+    cg_group_size:
+        Split the active CG stage into independent sub-networks of this
+        size (for NTT dimensions shorter than ``m``).  ``None`` = full.
+    shift:
+        Control word for the shift stages; ``None`` = all inactive.
+    """
+
+    cg: str | None = None
+    cg_group_size: int | None = None
+    shift: ShiftControls | None = None
+
+    def __post_init__(self) -> None:
+        if self.cg not in (None, "dit", "dif"):
+            raise ValueError(f"cg must be None, 'dit' or 'dif', got {self.cg}")
+        if self.cg_group_size is not None and self.cg is None:
+            raise ValueError("cg_group_size given without an active CG stage")
+
+
+class InterLaneNetwork:
+    """The unified inter-lane network on ``m`` lanes."""
+
+    def __init__(self, m: int):
+        if m < 4 or m & (m - 1):
+            raise ValueError(f"m must be a power of two >= 4, got {m}")
+        self.m = m
+        self.merged_cg = m == 4
+        self.cg_dit = CgStage(m, "dit")
+        self.cg_dif = CgStage(m, "dif")
+        self.shift_stages = [
+            ShiftStage(m, 1 << b) for b in reversed(range(m.bit_length() - 1))
+        ]
+        self.passes = 0
+
+    @property
+    def stage_count(self) -> int:
+        """Physical stages: CG (1 at m=4, else 2) + log2 m shifts."""
+        cg = 1 if self.merged_cg else 2
+        return cg + len(self.shift_stages)
+
+    @property
+    def control_bit_count(self) -> int:
+        """Live control bits per pass: 1 per CG stage + m-1 shift bits."""
+        cg = 1 if self.merged_cg else 2
+        return cg + sum(s.control_signal_count for s in self.shift_stages)
+
+    def traverse(self, x: np.ndarray, config: NetworkConfig) -> np.ndarray:
+        """Send one m-element vector through the configured network."""
+        x = np.asarray(x)
+        if len(x) != self.m:
+            raise ValueError(f"expected {self.m} lanes, got {len(x)}")
+        out = x
+        # CG stages first (Fig. 2 order), at most one active.
+        if config.cg == "dit":
+            out = self.cg_dit.apply(out, True, config.cg_group_size)
+        elif config.cg == "dif":
+            out = self.cg_dif.apply(out, True, config.cg_group_size)
+        # Shift stages, largest distance first.
+        controls = config.shift or _identity_controls(self.m)
+        if controls.m != self.m:
+            raise ValueError(f"controls sized for m={controls.m}, need {self.m}")
+        for stage in self.shift_stages:
+            b = stage.distance.bit_length() - 1
+            out = stage.apply(out, controls.group_bits[b])
+        self.passes += 1
+        return out
+
+    def traverse_rows(self, rows: np.ndarray, config: NetworkConfig) -> np.ndarray:
+        """Traverse several independent m-element rows (one per cycle)."""
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.m:
+            raise ValueError(f"expected (*, {self.m}) rows, got {rows.shape}")
+        return np.stack([self.traverse(row, config) for row in rows])

@@ -1,0 +1,156 @@
+"""Pluggable kernel backends for the FHE layer.
+
+Every polynomial-level kernel the accelerator cares about — forward and
+inverse negacyclic NTTs and evaluation-domain automorphisms — funnels
+through the active backend:
+
+* :class:`NumpyBackend` — the fast vectorized golden path.
+* :class:`VpuBackend` — routes the kernels through the behavioral VPU
+  model (compiled ISA programs executed on the mux-level network), so a
+  whole CKKS workload can be run "on the hardware" and checked
+  bit-for-bit against the numpy path.
+
+Swap with :func:`set_backend`, or temporarily with :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.automorphism.mapping import AffinePermutation, galois_eval_permutation
+from repro.ntt.negacyclic import NegacyclicNtt
+
+_NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
+
+
+def _ntt(n: int, q: int) -> NegacyclicNtt:
+    key = (n, q)
+    if key not in _NTT_CACHE:
+        _NTT_CACHE[key] = NegacyclicNtt(n, q)
+    return _NTT_CACHE[key]
+
+
+class NumpyBackend:
+    """Vectorized numpy kernels (the default)."""
+
+    name = "numpy"
+
+    def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
+        """Negacyclic coefficients -> natural-order evaluation values."""
+        return _ntt(len(coeffs), q).forward(coeffs)
+
+    def inverse_ntt(self, values: np.ndarray, q: int) -> np.ndarray:
+        """Natural-order evaluation values -> coefficients."""
+        return _ntt(len(values), q).inverse(values)
+
+    def automorphism_eval(self, values: np.ndarray, galois_k: int,
+                          q: int) -> np.ndarray:
+        """Apply the Galois action ``X -> X^k`` in the evaluation domain."""
+        perm = galois_eval_permutation(len(values), galois_k)
+        return perm.apply(values)
+
+
+class VpuBackend:
+    """Kernels executed on the behavioral VPU model.
+
+    Works for any power-of-two ``n >= m`` (full-width dimensions peel
+    off recursively; ragged tails run in the packed grouped-CG layout);
+    automorphisms work for any ``n`` divisible by ``m``.  The psi-folding
+    scalings of the negacyclic wrap run as element-wise twiddle work,
+    which the real VPU also does in its element-wise mode.
+    """
+
+    name = "vpu"
+
+    def __init__(self, m: int = 16):
+        from repro.core import VectorProcessingUnit
+        from repro.mapping import required_registers
+
+        self.m = m
+        self._vpu = VectorProcessingUnit(
+            m=m, q=3, regfile_entries=required_registers(m),
+            memory_rows=8,
+        )
+        self.kernel_invocations = 0
+
+    def _prepare(self, n: int, q: int):
+        from repro.core import VectorMemory
+
+        self._vpu.set_modulus(q)
+        needed = 2 * max(n // self.m, 2)
+        if self._vpu.memory.rows < needed:
+            self._vpu.memory = VectorMemory(self.m, needed)
+
+    def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
+        from repro.mapping import pack_for_ntt, unpack_ntt_result
+        from repro.mapping.ntt import compile_negacyclic_ntt
+
+        n = len(coeffs)
+        self._prepare(n, q)
+        self._vpu.memory.data[:n // self.m] = pack_for_ntt(
+            np.asarray(coeffs, dtype=np.uint64), self.m)
+        # psi-folding runs on the VPU too (element-wise twiddle mode).
+        self._vpu.execute(compile_negacyclic_ntt(n, self.m, q))
+        self.kernel_invocations += 1
+        # Natural-order negacyclic values, matching NegacyclicNtt.forward.
+        return unpack_ntt_result(self._vpu.memory, n, self.m)
+
+    def inverse_ntt(self, values: np.ndarray, q: int) -> np.ndarray:
+        from repro.mapping import pack_ntt_values
+        from repro.mapping.ntt import compile_negacyclic_intt
+
+        n = len(values)
+        self._prepare(n, q)
+        self._vpu.memory.data[:n // self.m] = pack_ntt_values(
+            np.asarray(values, dtype=np.uint64), self.m)
+        self._vpu.execute(compile_negacyclic_intt(n, self.m, q))
+        self.kernel_invocations += 1
+        rows = self._vpu.memory.data[:n // self.m]
+        return rows.T.reshape(-1).copy()  # undo pack_for_ntt layout
+
+    def automorphism_eval(self, values: np.ndarray, galois_k: int,
+                          q: int) -> np.ndarray:
+        from repro.mapping import (
+            automorphism_layout_pack,
+            automorphism_layout_unpack,
+            compile_automorphism,
+        )
+
+        n = len(values)
+        perm = galois_eval_permutation(n, galois_k)
+        self._prepare(n, q)
+        cols = n // self.m
+        self._vpu.memory.data[:cols] = automorphism_layout_pack(
+            np.asarray(values, dtype=np.uint64), self.m)
+        self._vpu.execute(compile_automorphism(perm, self.m))
+        self.kernel_invocations += 1
+        return automorphism_layout_unpack(self._vpu.memory, n, self.m,
+                                          base_row=cols)
+
+
+_ACTIVE: NumpyBackend | VpuBackend = NumpyBackend()
+
+
+def get_backend():
+    """The backend all FHE polynomial kernels currently use."""
+    return _ACTIVE
+
+
+def set_backend(backend) -> None:
+    """Install a kernel backend globally."""
+    global _ACTIVE
+    _ACTIVE = backend
+
+
+@contextmanager
+def use_backend(backend):
+    """Temporarily install a backend (restores the previous on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = backend
+    try:
+        yield backend
+    finally:
+        _ACTIVE = previous

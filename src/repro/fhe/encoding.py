@@ -1,0 +1,100 @@
+"""CKKS canonical-embedding encoder.
+
+A plaintext vector of ``N/2`` complex slots embeds into a real
+polynomial through the canonical embedding: slot ``t`` is the value of
+the polynomial at the primitive ``2N``-th root ``zeta^(5^t)`` (and its
+conjugate at ``zeta^(-5^t)``), scaled by Delta and rounded.
+
+The **power-of-five slot ordering** is what makes homomorphic rotation
+work: the Galois action ``X -> X^(5^r)`` sends evaluation point
+``zeta^(5^t)`` to ``zeta^(5^(t+r))``, i.e. it *cyclically rotates* the
+slot vector by ``r`` — the paper's §II-C, where applying
+``sigma_{Phi,r}`` rotates the plaintexts.  With ascending odd-exponent
+ordering the same action would scramble the slots.
+
+Transforms are O(N log N): one FFT plus an index permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.params import CkksParams
+from repro.fhe.polynomial import RnsPoly
+
+
+class CkksEncoder:
+    """Encoder/decoder bound to one parameter set."""
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        n = params.n
+        self.n = n
+        self.slots = params.slots
+        # Map slot t to the DFT bin j with 2j+1 = 5^t mod 2N, and the
+        # conjugate bin for -5^t.
+        exponent = 1
+        self._slot_bin = np.empty(self.slots, dtype=np.int64)
+        self._conj_bin = np.empty(self.slots, dtype=np.int64)
+        for t in range(self.slots):
+            self._slot_bin[t] = (exponent - 1) // 2
+            self._conj_bin[t] = (2 * n - exponent - 1) // 2
+            exponent = exponent * 5 % (2 * n)
+        #: Twist factors e^{i pi k / N} linking the odd-root transform to
+        #: the standard DFT.
+        k = np.arange(n)
+        self._twist = np.exp(1j * np.pi * k / n)
+
+    # -- complex vector <-> real coefficient vector -------------------------
+
+    def embed(self, slots_vec: np.ndarray) -> np.ndarray:
+        """Slot values -> real (float) polynomial coefficients, unscaled."""
+        z = np.asarray(slots_vec, dtype=np.complex128)
+        if len(z) != self.slots:
+            raise ValueError(f"expected {self.slots} slots, got {len(z)}")
+        spectrum = np.zeros(self.n, dtype=np.complex128)
+        spectrum[self._slot_bin] = z
+        spectrum[self._conj_bin] = np.conj(z)
+        # c_k = (1/N) * e^{-i pi k/N} * sum_j v_j e^{-2 pi i jk/N}
+        coeffs = np.fft.fft(spectrum) * np.conj(self._twist) / self.n
+        return coeffs.real
+
+    def project(self, coeffs: np.ndarray) -> np.ndarray:
+        """Real polynomial coefficients -> slot values, unscaled."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if len(coeffs) != self.n:
+            raise ValueError(f"expected {self.n} coefficients, got {len(coeffs)}")
+        spectrum = np.fft.ifft(coeffs * self._twist) * self.n
+        return spectrum[self._slot_bin]
+
+    # -- plaintext encode/decode ---------------------------------------------
+
+    def encode(self, slots_vec: np.ndarray, level: int | None = None,
+               scale: float | None = None) -> tuple[RnsPoly, float]:
+        """Encode slots into a double-CRT plaintext polynomial.
+
+        Returns ``(poly, scale)``; the poly is at the given level (default
+        top) in the evaluation domain.
+        """
+        level = self.params.top_level if level is None else level
+        scale = self.params.scale if scale is None else scale
+        coeffs = self.embed(slots_vec) * scale
+        rounded = np.rint(coeffs).astype(object)
+        primes = self.params.primes[:level + 1]
+        return RnsPoly.from_int_coeffs(rounded, primes), scale
+
+    def decode(self, poly: RnsPoly, scale: float) -> np.ndarray:
+        """Decode a plaintext polynomial back to slot values."""
+        coeff_poly = poly.to_coeff()
+        q_prod = 1
+        for q in coeff_poly.primes:
+            q_prod *= q
+        # Centered CRT lift limb-by-limb (vectorized Garner would be
+        # overkill at these sizes).
+        acc = np.zeros(self.n, dtype=object)
+        for i, q in enumerate(coeff_poly.primes):
+            q_hat = q_prod // q
+            factor = q_hat * pow(q_hat, -1, q) % q_prod
+            acc = (acc + coeff_poly.residues[i].astype(object) * factor) % q_prod
+        centered = np.where(acc > q_prod // 2, acc - q_prod, acc)
+        return self.project(centered.astype(np.float64)) / scale

@@ -1,0 +1,202 @@
+"""RNS digit-decomposition keyswitching with one special prime.
+
+A keyswitch converts a polynomial known under key ``s_from`` into a
+2-part ciphertext under ``s_to``.  We use the per-prime digit gadget:
+the digits of ``x`` are its raw residues ``[x]_{q_i}`` (centered), and
+the gadget vector is the CRT-idempotent family ``B_i`` of the full
+chain, pre-multiplied by the special prime ``P``:
+
+``ksk_i = (-a_i s_to + e_i + P * B_i * s_from,  a_i)  mod (Q_L * P)``
+
+Because ``sum_{i <= level} [x]_{q_i} B_i === x`` modulo any level prefix
+of the chain, one key works at **every** level — no per-level keys.
+The noise added is ``~ sum_i x_i e_i / P``, small since digits are at
+most ``q_i / 2`` in magnitude and ``P ~ q_i``.
+
+This is the computation pattern the paper's keyswitch workload refers
+to (§II-A): per digit, a batch of NTTs to re-express the digit in every
+limb, then element-wise multiply-accumulates — plus the ModDown by
+``P`` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arith.modular import mod_inverse
+from repro.fhe.params import CkksParams
+from repro.fhe.polynomial import RnsPoly
+from repro.fhe.rns import RnsBasis, get_basis
+from repro.fhe.sampling import sample_gaussian, sample_uniform_poly
+
+
+@dataclass
+class KeySwitchKey:
+    """One digit-decomposed keyswitch key (relinearization or Galois)."""
+
+    #: Per digit i: (b_i, a_i), both over the full basis Q_L * P, eval domain.
+    pairs: list[tuple[RnsPoly, RnsPoly]]
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.pairs)
+
+
+def _full_primes(params: CkksParams) -> tuple[int, ...]:
+    return params.primes + (params.special_prime,)
+
+
+def generate_keyswitch_key(
+    params: CkksParams,
+    s_from_eval_full: RnsPoly,
+    s_to_eval_full: RnsPoly,
+    rng: np.random.Generator,
+    error_scale: int = 1,
+) -> KeySwitchKey:
+    """Build the digit keys taking ``s_from`` to ``s_to``.
+
+    Both secrets must be given over the full basis (chain + special) in
+    the evaluation domain.  ``error_scale`` multiplies the key errors —
+    BGV keys need errors that are multiples of the plaintext modulus so
+    keyswitch noise stays invisible modulo ``t``.
+    """
+    basis = get_basis(params.primes, params.special_prime)
+    full = _full_primes(params)
+    n = params.n
+    pairs = []
+    for i in range(params.levels):
+        a = sample_uniform_poly(n, full, rng)
+        e = RnsPoly.from_int_coeffs(
+            (sample_gaussian(n, params.error_std, rng) * error_scale)
+            .astype(object), full)
+        # P * B_i reduced in every limb of the full basis.
+        pb_rows = np.empty(len(full), dtype=object)
+        p = params.special_prime
+        for j, q in enumerate(full):
+            b_mod = (int(basis.idempotent_mod_chain[i][j])
+                     if j < params.levels else int(basis.idempotent_mod_special[i]))
+            pb_rows[j] = (p % q) * b_mod % q
+        gadget = RnsPoly(
+            np.stack([
+                s_from_eval_full.residues[j] * np.uint64(pb_rows[j]) % np.uint64(q)
+                for j, q in enumerate(full)
+            ]),
+            full, is_eval=True,
+        )
+        b = (-(a * s_to_eval_full)) + e + gadget
+        pairs.append((b, a))
+    return KeySwitchKey(pairs)
+
+
+def decompose_digits(x: RnsPoly, params: CkksParams) -> list[RnsPoly]:
+    """Digit-decompose an eval-domain chain polynomial.
+
+    Digit ``i`` is the centered lift of ``[x]_{q_i}`` re-expressed over
+    every chain limb of ``x``'s level plus the special prime, returned
+    in the evaluation domain (one inverse NTT + L+1 forward NTTs per
+    digit — the NTT batch the accelerator speeds up).
+    """
+    coeff = x.to_coeff()
+    level_primes = x.primes
+    target = level_primes + (params.special_prime,)
+    digits = []
+    for i in range(len(level_primes)):
+        lifted = coeff.centered_limb(i).astype(object)
+        digits.append(RnsPoly.from_int_coeffs(lifted, target))
+    return digits
+
+
+def apply_keyswitch(
+    x: RnsPoly, ksk: KeySwitchKey, params: CkksParams
+) -> tuple[RnsPoly, RnsPoly]:
+    """Switch ``x`` (eval domain, chain limbs only) to the target key.
+
+    Returns the two accumulated parts still over ``chain + special``;
+    follow with :func:`mod_down` to drop the special prime.
+    """
+    digits = decompose_digits(x, params)
+    level_count = x.num_limbs
+    keep = list(range(level_count)) + [params.levels]  # limbs of Q_l * P
+    t0 = t1 = None
+    for i, digit in enumerate(digits):
+        b_i, a_i = ksk.pairs[i]
+        b_i = RnsPoly(b_i.residues[keep],
+                      tuple(b_i.primes[j] for j in keep), True)
+        a_i = RnsPoly(a_i.residues[keep],
+                      tuple(a_i.primes[j] for j in keep), True)
+        tb = digit * b_i
+        ta = digit * a_i
+        t0 = tb if t0 is None else t0 + tb
+        t1 = ta if t1 is None else t1 + ta
+    return t0, t1
+
+
+def _divide_by_top_limb(poly: RnsPoly, inv_table: np.ndarray,
+                        plaintext_modulus: int | None = None) -> RnsPoly:
+    """Drop the last limb with rounding: ``(x - delta) / q_top``.
+
+    ``delta === x (mod q_top)``; with ``plaintext_modulus`` set, ``delta``
+    is additionally forced to ``0 (mod t)`` so the division leaves exact
+    BGV plaintexts untouched (CKKS treats the rounding as approximation
+    noise and skips the correction).
+    """
+    coeff = poly.to_coeff()
+    top = coeff.num_limbs - 1
+    q_top = poly.primes[top]
+    tail = coeff.centered_limb(top)
+    if plaintext_modulus is None:
+        delta = tail.astype(object)
+    else:
+        t = plaintext_modulus
+        correction = (-tail.astype(object) * mod_inverse(q_top, t)) % t
+        correction = np.where(correction > t // 2, correction - t, correction)
+        delta = tail.astype(object) + correction * q_top
+    chain = coeff.limbs_prefix(top)
+    out = np.empty_like(chain.residues)
+    for j, q in enumerate(chain.primes):
+        qq = np.uint64(q)
+        lifted = (delta % q).astype(np.uint64)
+        diff = (chain.residues[j] + (qq - lifted)) % qq
+        out[j] = diff * np.uint64(int(inv_table[j])) % qq
+    return RnsPoly(out, chain.primes, is_eval=False).to_eval()
+
+
+def mod_down(t: RnsPoly, basis: RnsBasis,
+             plaintext_modulus: int | None = None) -> RnsPoly:
+    """Divide by the special prime with rounding: ``(t - [t]_p) / p``.
+
+    Consumes a poly whose last limb is the special prime; returns the
+    chain-only poly in the evaluation domain.  ``plaintext_modulus``
+    enables the exact-scheme correction (see :func:`_divide_by_top_limb`).
+    """
+    if t.primes[-1] != basis.special_prime:
+        raise ValueError("mod_down expects the special prime as last limb")
+    inv_table = basis.special_inv_mod_chain[:t.num_limbs - 1]
+    return _divide_by_top_limb(t, inv_table, plaintext_modulus)
+
+
+def rescale(poly: RnsPoly, basis: RnsBasis) -> RnsPoly:
+    """Drop the top chain limb with rounding: ``(x - [x]_{q_l}) / q_l``.
+
+    The CKKS rescale after multiplication; same arithmetic as
+    :func:`mod_down` but dividing by the last *chain* prime.
+    """
+    if poly.num_limbs < 2:
+        raise ValueError("cannot rescale below one limb")
+    q_top = poly.primes[poly.num_limbs - 1]
+    inv_table = basis.prime_inv_mod_others(basis.primes.index(q_top))
+    return _divide_by_top_limb(poly, inv_table)
+
+
+def mod_switch_exact(poly: RnsPoly, basis: RnsBasis,
+                     plaintext_modulus: int) -> RnsPoly:
+    """BGV modulus switch: drop the top chain prime while keeping the
+    carried value exact modulo ``t`` (up to the tracked ``q_top^{-1}``
+    plaintext factor)."""
+    if poly.num_limbs < 2:
+        raise ValueError("cannot modulus-switch below one limb")
+    q_top = poly.primes[poly.num_limbs - 1]
+    inv_table = basis.prime_inv_mod_others(basis.primes.index(q_top))
+    return _divide_by_top_limb(poly, inv_table, plaintext_modulus)

@@ -1,0 +1,112 @@
+"""Homomorphic linear algebra: encrypted matrix-vector products.
+
+These are the linear phases of CKKS bootstrapping (CoeffToSlot /
+SlotToCoeff) and of private inference — and the workloads that make
+HRot, hence the paper's automorphism hardware, the hot kernel:
+
+* :func:`encrypted_matvec` — the Halevi–Shoup diagonal method:
+  ``y = sum_d diag_d(W) * rot(x, d)``; one rotation per nonzero diagonal.
+* :func:`encrypted_matvec_bsgs` — the baby-step/giant-step variant that
+  cuts rotations from ``d`` to ``~2*sqrt(d)`` by pre-rotating diagonals,
+  the optimization every bootstrapping implementation uses.
+
+Both operate on a square ``dim x dim`` matrix acting on a vector that is
+tiled across the slot ring (cyclic tiling makes slot rotations emulate
+length-``dim`` rotations).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext
+
+
+def matrix_diagonal(matrix: np.ndarray, d: int) -> np.ndarray:
+    """The d-th generalized diagonal: ``diag_d[i] = W[i][(i + d) % dim]``."""
+    dim = matrix.shape[0]
+    i = np.arange(dim)
+    return matrix[i, (i + d) % dim]
+
+
+def _tile(vec: np.ndarray, slots: int) -> np.ndarray:
+    dim = len(vec)
+    if slots % dim:
+        raise ValueError(f"matrix dim {dim} must divide slot count {slots}")
+    return np.tile(vec, slots // dim)
+
+
+def required_rotations(dim: int, bsgs: bool = False) -> list[int]:
+    """Galois keys a matvec needs (generate these up front)."""
+    if not bsgs:
+        return list(range(1, dim))
+    baby = int(math.isqrt(dim))
+    while dim % baby:
+        baby -= 1
+    giant = dim // baby
+    return sorted(set(range(1, baby)) | {g * baby for g in range(1, giant)})
+
+
+def encrypted_matvec(ctx: CkksContext, ct: Ciphertext,
+                     matrix: np.ndarray) -> Ciphertext:
+    """Diagonal-method ``W @ x``: ``dim - 1`` rotations."""
+    dim = matrix.shape[0]
+    if matrix.shape != (dim, dim):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    slots = ctx.params.slots
+    acc = None
+    for d in range(dim):
+        diag = matrix_diagonal(matrix, d)
+        if not np.any(diag):
+            continue
+        rotated = ctx.rotate(ct, d) if d else ct
+        term = ctx.multiply_plain(rotated, _tile(diag, slots))
+        acc = term if acc is None else ctx.add(acc, term)
+    if acc is None:
+        return ctx.multiply_plain(ct, np.zeros(slots))
+    return acc
+
+
+def encrypted_matvec_bsgs(ctx: CkksContext, ct: Ciphertext,
+                          matrix: np.ndarray) -> Ciphertext:
+    """Baby-step/giant-step ``W @ x``: ``~2*sqrt(dim)`` rotations.
+
+    Decompose ``d = g*n1 + b``; then
+    ``y = sum_g rot( sum_b rot(diag_{g*n1+b}, -g*n1) * rot(x, b), g*n1 )``
+    — the inner rotations of ``x`` are shared across all ``g``.
+    """
+    dim = matrix.shape[0]
+    if matrix.shape != (dim, dim):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    slots = ctx.params.slots
+    baby = int(math.isqrt(dim))
+    while dim % baby:
+        baby -= 1
+    giant = dim // baby
+
+    # Baby steps: rot(x, b) for b in [0, baby).
+    baby_rotations = [ct]
+    for b in range(1, baby):
+        baby_rotations.append(ctx.rotate(ct, b))
+
+    acc = None
+    for g in range(giant):
+        inner = None
+        for b in range(baby):
+            diag = matrix_diagonal(matrix, g * baby + b)
+            if not np.any(diag):
+                continue
+            # Pre-rotate the diagonal by -g*baby so the outer rotation
+            # lands it in place.
+            pre = np.roll(diag, g * baby)
+            term = ctx.multiply_plain(baby_rotations[b], _tile(pre, slots))
+            inner = term if inner is None else ctx.add(inner, term)
+        if inner is None:
+            continue
+        outer = ctx.rotate(inner, g * baby) if g else inner
+        acc = outer if acc is None else ctx.add(acc, outer)
+    if acc is None:
+        return ctx.multiply_plain(ct, np.zeros(slots))
+    return acc

@@ -1,0 +1,118 @@
+"""Vector packing utilities: arbitrary-length data over CKKS ciphertexts.
+
+Application data rarely arrives in exact ``N/2``-slot chunks.  A
+:class:`PackedVector` splits a real/complex vector of any length across
+however many ciphertexts it needs (zero-padding the tail), and applies
+element-wise and rotation operations chunk-wise so callers can stay at
+the "encrypted numpy array" level of abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext
+
+
+@dataclass
+class PackedVector:
+    """A logical vector spread over one or more ciphertexts."""
+
+    chunks: list[Ciphertext]
+    length: int
+    slots: int
+
+    @property
+    def num_ciphertexts(self) -> int:
+        return len(self.chunks)
+
+
+def encrypt_vector(ctx: CkksContext, values: np.ndarray) -> PackedVector:
+    """Encrypt an arbitrary-length vector (zero-padded tail)."""
+    values = np.asarray(values)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("expected a non-empty 1-D vector")
+    slots = ctx.params.slots
+    chunks = []
+    for start in range(0, len(values), slots):
+        piece = values[start:start + slots]
+        padded = np.zeros(slots, dtype=complex)
+        padded[:len(piece)] = piece
+        chunks.append(ctx.encrypt(padded))
+    return PackedVector(chunks, len(values), slots)
+
+
+def decrypt_vector(ctx: CkksContext, packed: PackedVector) -> np.ndarray:
+    """Decrypt back to the original length."""
+    parts = [ctx.decrypt(chunk) for chunk in packed.chunks]
+    return np.concatenate(parts)[:packed.length]
+
+
+def _check_compatible(a: PackedVector, b: PackedVector) -> None:
+    if a.length != b.length or a.slots != b.slots:
+        raise ValueError(
+            f"packed vectors differ: {a.length}/{a.slots} vs "
+            f"{b.length}/{b.slots}"
+        )
+
+
+def add_packed(ctx: CkksContext, a: PackedVector, b: PackedVector) -> PackedVector:
+    """Element-wise encrypted addition."""
+    _check_compatible(a, b)
+    return PackedVector([ctx.add(x, y) for x, y in zip(a.chunks, b.chunks)],
+                        a.length, a.slots)
+
+
+def multiply_packed(ctx: CkksContext, a: PackedVector,
+                    b: PackedVector) -> PackedVector:
+    """Element-wise encrypted multiplication."""
+    _check_compatible(a, b)
+    return PackedVector(
+        [ctx.multiply(x, y) for x, y in zip(a.chunks, b.chunks)],
+        a.length, a.slots)
+
+
+def multiply_plain_packed(ctx: CkksContext, a: PackedVector,
+                          values: np.ndarray) -> PackedVector:
+    """Element-wise multiply by a plaintext vector of the same length."""
+    values = np.asarray(values)
+    if len(values) != a.length:
+        raise ValueError(f"length mismatch: {len(values)} vs {a.length}")
+    chunks = []
+    for i, chunk in enumerate(a.chunks):
+        piece = values[i * a.slots:(i + 1) * a.slots]
+        padded = np.zeros(a.slots, dtype=complex)
+        padded[:len(piece)] = piece
+        chunks.append(ctx.multiply_plain(chunk, padded))
+    return PackedVector(chunks, a.length, a.slots)
+
+
+def inner_sum(ctx: CkksContext, a: PackedVector) -> complex:
+    """Decrypt-side helper: the sum of all logical entries.
+
+    Sums each chunk homomorphically with log-depth rotations (requires
+    power-of-two rotation keys up to ``slots/2``), then decrypts only
+    slot 0 of each chunk — the aggregate leaves nothing else readable
+    beyond what the sum itself reveals.
+    """
+    total = 0.0 + 0.0j
+    for chunk in a.chunks:
+        acc = chunk
+        steps = 1
+        while steps < a.slots:
+            acc = ctx.add(acc, ctx.rotate(acc, steps))
+            steps *= 2
+        total += ctx.decrypt(acc)[0]
+    return total
+
+
+def rotation_keys_for_inner_sum(slots: int) -> list[int]:
+    """The power-of-two rotation amounts :func:`inner_sum` needs."""
+    keys = []
+    steps = 1
+    while steps < slots:
+        keys.append(steps)
+        steps *= 2
+    return keys

@@ -1,0 +1,153 @@
+"""Homomorphic polynomial evaluation.
+
+The nonlinear phase of CKKS bootstrapping (EvalMod) and most private-ML
+activations reduce to evaluating a fixed polynomial on an encrypted
+value.  Two evaluators:
+
+* :func:`evaluate_horner` — classic Horner; multiplicative depth equals
+  the degree.  Simple, used for shallow polynomials.
+* :func:`evaluate_power_basis` — Paterson–Stockmeyer baby/giant-step:
+  depth ``~log2(degree)`` at the cost of a few extra ciphertext
+  multiplications; the form bootstrapping actually uses.
+
+Coefficients are real scalars applied through plaintext multiplies; the
+constant term enters through an add_plain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext, CkksContext
+
+
+def _const(ctx: CkksContext, value: float) -> np.ndarray:
+    return np.full(ctx.params.slots, value)
+
+
+def _level_align(ctx: CkksContext, ct: Ciphertext, level: int) -> Ciphertext:
+    """Drop a ciphertext to ``level`` by modulus reduction — free (no
+    scale decay, no added noise); :func:`_add_matched` reconciles the
+    scale differences this leaves behind."""
+    if ct.level > level:
+        return ctx.mod_reduce(ct, level)
+    if ct.level != level:
+        raise ValueError(f"cannot raise level {ct.level} to {level}")
+    return ct
+
+
+def _add_matched(ctx: CkksContext, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+    """Add two ciphertexts from branches of different multiplicative
+    depth.
+
+    Three strategies, cheapest first: direct add when scales already
+    agree; an exact integer scalar multiply when the scales differ by a
+    near-integer ratio at the same level (free — no level consumed);
+    otherwise spend one level on :meth:`CkksContext.match_scale`.
+    """
+    # Level alignment is free (modulus reduction keeps the scale).
+    if a.level != b.level:
+        target_level = min(a.level, b.level)
+        a = ctx.mod_reduce(a, target_level) if a.level > target_level else a
+        b = ctx.mod_reduce(b, target_level) if b.level > target_level else b
+    if abs(np.log2(a.scale) - np.log2(b.scale)) < 0.01:
+        return ctx.add(a, b)
+    if a.scale < b.scale:
+        a, b = b, a
+    ratio = a.scale / b.scale
+    k = round(ratio)
+    if k >= 1 and abs(k - ratio) / ratio < 0.01:
+        boosted = Ciphertext([p.mul_scalar(k) for p in b.parts],
+                             b.scale * k)
+        return ctx.add(a, boosted)
+    # Last resort: spend one level to land both on a common scale.
+    target = b.scale
+    return ctx.add(ctx.match_scale(a, a.level - 1, target),
+                   ctx.match_scale(b, b.level - 1, target))
+
+
+def evaluate_horner(ctx: CkksContext, ct: Ciphertext,
+                    coeffs: list[float]) -> Ciphertext:
+    """Evaluate ``sum_k coeffs[k] * x^k`` by Horner's rule.
+
+    Depth = ``len(coeffs) - 1`` multiplications; requires that many
+    levels.
+    """
+    if not coeffs:
+        raise ValueError("need at least one coefficient")
+    if len(coeffs) == 1:
+        return ctx.multiply_plain(ctx.add_plain(
+            ctx.multiply_plain(ct, _const(ctx, 0.0)), _const(ctx, coeffs[0])),
+            _const(ctx, 1.0))
+    acc = ctx.multiply_plain(ct, _const(ctx, coeffs[-1]))
+    for c in reversed(coeffs[1:-1]):
+        acc = ctx.add_plain(acc, _const(ctx, c))
+        acc = ctx.multiply(acc, _level_align(ctx, ct, acc.level))
+    return ctx.add_plain(acc, _const(ctx, coeffs[0]))
+
+
+def evaluate_power_basis(ctx: CkksContext, ct: Ciphertext,
+                         coeffs: list[float]) -> Ciphertext:
+    """Paterson–Stockmeyer evaluation with ``~log`` depth.
+
+    Split the degree-``D`` polynomial into blocks of ``k ~ sqrt(D+1)``
+    coefficients, evaluate each block over precomputed baby powers
+    ``x..x^(k-1)``, and combine blocks with giant powers of ``x^k``.
+    """
+    if not coeffs:
+        raise ValueError("need at least one coefficient")
+    degree = len(coeffs) - 1
+    if degree == 0:
+        return evaluate_horner(ctx, ct, coeffs)
+    k = max(1, int(math.isqrt(degree + 1)))
+
+    # Baby powers x^1 .. x^k (binary products keep depth log2 k + 1).
+    powers: dict[int, Ciphertext] = {1: ct}
+    for j in range(2, k + 1):
+        half = j // 2
+        a = powers[half]
+        b = powers[j - half]
+        powers[j] = ctx.multiply(a, b)
+
+    def block_value(block: list[float], level_floor: int) -> Ciphertext | None:
+        """Evaluate ``block[0] + block[1] x + ...`` over the baby powers,
+        aligned to a common level."""
+        acc = None
+        for j, c in enumerate(block):
+            if j == 0 or c == 0.0:
+                continue
+            term = ctx.multiply_plain(
+                _level_align(ctx, powers[j], level_floor + 1),
+                _const(ctx, c))
+            acc = term if acc is None else ctx.add(acc, term)
+        if acc is None:
+            acc = ctx.multiply_plain(_level_align(ctx, ct, level_floor + 1),
+                                     _const(ctx, 0.0))
+        if block[0] != 0.0:
+            acc = ctx.add_plain(acc, _const(ctx, block[0]))
+        return acc
+
+    # The deepest baby power's level bounds every block's working level.
+    min_power_level = min(p.level for p in powers.values())
+    blocks = [coeffs[i:i + k] for i in range(0, len(coeffs), k)]
+
+    # Giant powers of g = x^k.
+    giant: dict[int, Ciphertext] = {}
+    if len(blocks) > 1:
+        giant[1] = powers[k]
+        g = 2
+        while g < len(blocks):
+            half = g // 2
+            giant[g] = ctx.multiply(giant[half], giant[g - half])
+            g += 1
+
+    result = block_value(blocks[0], min_power_level - 1)
+    for idx, block in enumerate(blocks[1:], start=1):
+        value = block_value(block, min_power_level - 1)
+        common = min(value.level, giant[idx].level)
+        lifted = ctx.multiply(_level_align(ctx, value, common),
+                              _level_align(ctx, giant[idx], common))
+        result = _add_matched(ctx, result, lifted)
+    return result

@@ -1,0 +1,179 @@
+"""Double-CRT polynomials for RNS-CKKS.
+
+An :class:`RnsPoly` stores one residue row per modulus — the chain
+primes of its level, optionally followed by the keyswitch special prime
+— in either the coefficient or the evaluation (NTT) domain.  All ring
+operations are limb-wise and vectorized; NTTs and automorphisms route
+through the active :mod:`repro.fhe.backend`, which is how the whole FHE
+stack can run on the behavioral VPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fhe.backend import get_backend
+
+
+@dataclass
+class RnsPoly:
+    """A polynomial in RNS form.
+
+    Attributes
+    ----------
+    residues:
+        ``(len(primes), n)`` uint64 array; row ``i`` holds the polynomial
+        modulo ``primes[i]``.
+    primes:
+        The moduli, in chain order (special prime last when present).
+    is_eval:
+        True when rows are natural-order evaluation values.
+    """
+
+    residues: np.ndarray
+    primes: tuple[int, ...]
+    is_eval: bool
+
+    def __post_init__(self) -> None:
+        self.residues = np.asarray(self.residues, dtype=np.uint64)
+        if self.residues.ndim != 2 or self.residues.shape[0] != len(self.primes):
+            raise ValueError(
+                f"residue shape {self.residues.shape} does not match "
+                f"{len(self.primes)} primes"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int, primes: tuple[int, ...], is_eval: bool = True) -> "RnsPoly":
+        return cls(np.zeros((len(primes), n), dtype=np.uint64), primes, is_eval)
+
+    @classmethod
+    def from_int_coeffs(cls, coeffs: np.ndarray, primes: tuple[int, ...],
+                        to_eval: bool = True) -> "RnsPoly":
+        """Build from signed integer coefficients (reduced per limb)."""
+        coeffs = np.asarray(coeffs, dtype=object)
+        rows = np.stack([
+            (coeffs % q).astype(np.uint64) for q in primes
+        ])
+        poly = cls(rows, primes, is_eval=False)
+        return poly.to_eval() if to_eval else poly
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.residues.shape[1]
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.primes)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.residues.copy(), self.primes, self.is_eval)
+
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.primes != other.primes:
+            raise ValueError(
+                f"modulus mismatch: {len(self.primes)} vs {len(other.primes)} limbs"
+            )
+        if self.is_eval != other.is_eval:
+            raise ValueError("domain mismatch (coeff vs eval)")
+
+    # -- ring operations -----------------------------------------------------
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = (self.residues[i] + other.residues[i]) % np.uint64(q)
+        return RnsPoly(out, self.primes, self.is_eval)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            qq = np.uint64(q)
+            out[i] = (self.residues[i] + (qq - other.residues[i])) % qq
+        return RnsPoly(out, self.primes, self.is_eval)
+
+    def __neg__(self) -> "RnsPoly":
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            qq = np.uint64(q)
+            out[i] = (qq - self.residues[i]) % qq
+        return RnsPoly(out, self.primes, self.is_eval)
+
+    def __mul__(self, other: "RnsPoly") -> "RnsPoly":
+        """Ring product; both operands must be in the evaluation domain
+        (point-wise multiply, the form the lanes execute)."""
+        self._check_compatible(other)
+        if not self.is_eval:
+            raise ValueError("ring multiplication requires eval domain")
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = self.residues[i] * other.residues[i] % np.uint64(q)
+        return RnsPoly(out, self.primes, self.is_eval)
+
+    def mul_scalar(self, scalar: int) -> "RnsPoly":
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = self.residues[i] * np.uint64(scalar % q) % np.uint64(q)
+        return RnsPoly(out, self.primes, self.is_eval)
+
+    # -- domain conversion ----------------------------------------------------
+
+    def to_eval(self) -> "RnsPoly":
+        if self.is_eval:
+            return self.copy()
+        backend = get_backend()
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = backend.forward_ntt(self.residues[i], q)
+        return RnsPoly(out, self.primes, is_eval=True)
+
+    def to_coeff(self) -> "RnsPoly":
+        if not self.is_eval:
+            return self.copy()
+        backend = get_backend()
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = backend.inverse_ntt(self.residues[i], q)
+        return RnsPoly(out, self.primes, is_eval=False)
+
+    # -- Galois action ---------------------------------------------------------
+
+    def automorphism(self, galois_k: int) -> "RnsPoly":
+        """Apply ``X -> X^k`` (evaluation domain: a pure permutation)."""
+        if not self.is_eval:
+            raise ValueError("automorphism is applied in the eval domain")
+        backend = get_backend()
+        out = np.empty_like(self.residues)
+        for i, q in enumerate(self.primes):
+            out[i] = backend.automorphism_eval(self.residues[i], galois_k, q)
+        return RnsPoly(out, self.primes, is_eval=True)
+
+    # -- level / limb management ------------------------------------------------
+
+    def drop_limb(self, index: int) -> "RnsPoly":
+        """Remove one residue row (used by rescale and ModDown)."""
+        keep = [i for i in range(self.num_limbs) if i != index]
+        return RnsPoly(self.residues[keep],
+                       tuple(self.primes[i] for i in keep), self.is_eval)
+
+    def limbs_prefix(self, count: int) -> "RnsPoly":
+        """Keep only the first ``count`` limbs (level truncation)."""
+        if not 1 <= count <= self.num_limbs:
+            raise ValueError(f"count {count} out of range")
+        return RnsPoly(self.residues[:count], self.primes[:count], self.is_eval)
+
+    def centered_limb(self, index: int) -> np.ndarray:
+        """One limb's coefficients lifted to the balanced range, as int64
+        (requires coefficient domain)."""
+        if self.is_eval:
+            raise ValueError("centered lift requires coefficient domain")
+        q = self.primes[index]
+        row = self.residues[index].astype(np.int64)
+        return np.where(row > q // 2, row - q, row)

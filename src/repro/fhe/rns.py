@@ -1,0 +1,89 @@
+"""Residue-number-system machinery.
+
+:class:`RnsBasis` bundles a prime chain plus one special prime and
+precomputes what the digit-decomposition keyswitch needs: the CRT
+idempotents ``B_i`` of the *full* basis (``B_i === 1 mod q_i``,
+``=== 0 mod q_j``) reduced modulo every prime.  Using idempotents as the
+gadget makes the keyswitch keys level-agnostic: a partial sum
+``sum_i [x]_{q_i} * B_i`` over any level prefix is still congruent to
+``x`` modulo that prefix's composite modulus.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.arith.modular import mod_inverse
+
+
+class RnsBasis:
+    """A chain of NTT primes plus one keyswitch special prime."""
+
+    def __init__(self, primes: tuple[int, ...], special_prime: int):
+        if len(set(primes)) != len(primes) or special_prime in primes:
+            raise ValueError("RNS primes must be pairwise distinct")
+        self.primes = tuple(primes)
+        self.special_prime = special_prime
+        self.levels = len(primes)
+        #: Full composite modulus Q = prod(primes).
+        self.big_q = 1
+        for q in primes:
+            self.big_q *= q
+        # CRT idempotents of the full chain basis: B_i = Qhat_i * inv.
+        self._idempotents = []
+        for i, q in enumerate(primes):
+            q_hat = self.big_q // q
+            b = q_hat * mod_inverse(q_hat, q)
+            self._idempotents.append(b)
+        #: B_i mod q_j for all (i, j): shape (levels, levels) uint64.
+        self.idempotent_mod_chain = np.array(
+            [[b % q for q in primes] for b in self._idempotents],
+            dtype=np.uint64,
+        )
+        #: B_i mod special_prime, shape (levels,).
+        self.idempotent_mod_special = np.array(
+            [b % special_prime for b in self._idempotents], dtype=np.uint64
+        )
+        #: special_prime^{-1} mod q_j for ModDown.
+        self.special_inv_mod_chain = np.array(
+            [mod_inverse(special_prime, q) for q in primes], dtype=np.uint64
+        )
+
+    def prime_inv_mod_others(self, dropped: int) -> np.ndarray:
+        """``q_dropped^{-1} mod q_j`` for ``j < dropped`` (rescaling)."""
+        qd = self.primes[dropped]
+        return np.array([mod_inverse(qd, q) for q in self.primes[:dropped]],
+                        dtype=np.uint64)
+
+    # -- integer <-> RNS conversions (golden-model helpers) -----------------
+
+    def to_rns(self, value: int, level: int) -> list[int]:
+        """Residues of an integer modulo ``q_0..q_level``."""
+        return [value % q for q in self.primes[:level + 1]]
+
+    def from_rns(self, residues: list[int], level: int) -> int:
+        """CRT reconstruction over ``q_0..q_level`` into ``[0, Q_level)``."""
+        q_prod = 1
+        for q in self.primes[:level + 1]:
+            q_prod *= q
+        total = 0
+        for i, (r, q) in enumerate(zip(residues, self.primes[:level + 1])):
+            q_hat = q_prod // q
+            total += int(r) * q_hat * mod_inverse(q_hat, q)
+        return total % q_prod
+
+    def centered(self, residues: list[int], level: int) -> int:
+        """CRT reconstruction into the balanced range ``(-Q/2, Q/2]``."""
+        q_prod = 1
+        for q in self.primes[:level + 1]:
+            q_prod *= q
+        v = self.from_rns(residues, level)
+        return v - q_prod if v > q_prod // 2 else v
+
+
+@lru_cache(maxsize=16)
+def get_basis(primes: tuple[int, ...], special_prime: int) -> RnsBasis:
+    """Cached basis lookup (one per parameter set)."""
+    return RnsBasis(primes, special_prime)

@@ -1,0 +1,73 @@
+"""Key and ciphertext persistence.
+
+Ciphertexts and plaintext polynomials serialize to ``.npz`` archives (an
+array of residue rows, the moduli, the domain flag, and the scale), so
+an encrypted workload can be handed between processes — a client
+encrypting on one machine, the evaluator running elsewhere — without
+either side holding the other's state.  Secret keys deliberately have no
+serializer here; persisting those safely is a key-management problem out
+of scope for a research library.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.fhe.ckks import Ciphertext
+from repro.fhe.polynomial import RnsPoly
+
+_FORMAT_VERSION = 1
+
+
+def poly_to_arrays(poly: RnsPoly) -> dict[str, np.ndarray]:
+    """Flatten one polynomial into named arrays."""
+    return {
+        "residues": poly.residues,
+        "primes": np.array(poly.primes, dtype=np.uint64),
+        "is_eval": np.array([poly.is_eval]),
+    }
+
+
+def poly_from_arrays(arrays: dict[str, np.ndarray]) -> RnsPoly:
+    return RnsPoly(
+        arrays["residues"],
+        tuple(int(q) for q in arrays["primes"]),
+        bool(arrays["is_eval"][0]),
+    )
+
+
+def save_ciphertext(ct: Ciphertext, path: str | Path | io.BytesIO) -> None:
+    """Serialize a CKKS ciphertext to an ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "scale": np.array([ct.scale], dtype=np.float64),
+        "num_parts": np.array([ct.size]),
+    }
+    for k, part in enumerate(ct.parts):
+        for name, arr in poly_to_arrays(part).items():
+            payload[f"part{k}_{name}"] = arr
+    np.savez_compressed(path, **payload)
+
+
+def load_ciphertext(path: str | Path | io.BytesIO) -> Ciphertext:
+    """Deserialize a CKKS ciphertext."""
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported ciphertext format v{version}")
+        parts = []
+        for k in range(int(data["num_parts"][0])):
+            parts.append(poly_from_arrays({
+                "residues": data[f"part{k}_residues"],
+                "primes": data[f"part{k}_primes"],
+                "is_eval": data[f"part{k}_is_eval"],
+            }))
+        return Ciphertext(parts, float(data["scale"][0]))
+
+
+def ciphertext_size_bytes(ct: Ciphertext) -> int:
+    """In-memory payload size: parts x limbs x N x 8 bytes."""
+    return sum(p.residues.nbytes for p in ct.parts)

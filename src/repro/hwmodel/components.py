@@ -1,0 +1,104 @@
+"""Area/power formulas for the datapath components.
+
+Every formula is structural (counts of bits, stages, entries) times a
+technology constant from :mod:`repro.hwmodel.technology`.  Costs combine
+with ``+`` and scale with ``*`` so design roll-ups read naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwmodel import technology as tech
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """An (area, power) pair with provenance.
+
+    Attributes
+    ----------
+    area_um2:
+        Silicon area in square micrometres.
+    power_mw:
+        Power at the target clock in milliwatts.
+    label:
+        Human-readable description of what was priced.
+    """
+
+    area_um2: float
+    power_mw: float
+    label: str = ""
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        label = " + ".join(p for p in (self.label, other.label) if p)
+        return CostReport(self.area_um2 + other.area_um2,
+                          self.power_mw + other.power_mw, label)
+
+    def __mul__(self, factor: float) -> "CostReport":
+        return CostReport(self.area_um2 * factor, self.power_mw * factor,
+                          self.label)
+
+    __rmul__ = __mul__
+
+    def scaled_power(self, activity: float) -> "CostReport":
+        """Scale only the power (activity/clock-gating factor)."""
+        return CostReport(self.area_um2, self.power_mw * activity, self.label)
+
+    def ratio_to(self, other: "CostReport") -> tuple[float, float]:
+        """Return (area ratio, power ratio) of this cost over ``other``."""
+        return self.area_um2 / other.area_um2, self.power_mw / other.power_mw
+
+
+def mux_stage_cost(lanes: int, bits: int = tech.WORD_BITS) -> CostReport:
+    """One network stage: ``lanes`` 2:1 muxes of ``bits`` each."""
+    n = lanes * bits
+    return CostReport(n * tech.MUX2_AREA_PER_BIT,
+                      n * tech.MUX2_POWER_PER_BIT,
+                      f"mux stage ({lanes}x{bits}b)")
+
+
+def lane_attach_overhead(lanes: int) -> CostReport:
+    """Per-lane overhead of attaching one network unit to the lanes:
+    butterfly-pair links, control decoders, output drivers."""
+    return CostReport(lanes * tech.LANE_NET_OVERHEAD_AREA,
+                      lanes * tech.LANE_NET_OVERHEAD_POWER,
+                      f"lane attach ({lanes} lanes)")
+
+
+def network_control_cost() -> CostReport:
+    """Fixed sequencing/control of one network unit (power only)."""
+    return CostReport(0.0, tech.NETWORK_CONTROL_POWER, "network control")
+
+
+def barrett_multiplier_cost(bits: int = tech.WORD_BITS) -> CostReport:
+    """The lane's Barrett modular multiplier (paper §III-A)."""
+    b2 = bits * bits
+    return CostReport(b2 * tech.BARRETT_AREA_PER_BIT2,
+                      b2 * tech.BARRETT_POWER_PER_BIT2,
+                      f"Barrett modmul ({bits}b)")
+
+
+def modular_adder_cost(bits: int = tech.WORD_BITS) -> CostReport:
+    """The lane's modular adder/subtractor."""
+    return CostReport(bits * tech.MODADD_AREA_PER_BIT,
+                      bits * tech.MODADD_POWER_PER_BIT,
+                      f"modadd ({bits}b)")
+
+
+def register_file_cost(entries: int = tech.REGFILE_DEFAULT_ENTRIES,
+                       bits: int = tech.WORD_BITS) -> CostReport:
+    """The lane's 2R1W register file."""
+    n = entries * bits
+    return CostReport(n * tech.REGFILE_AREA_PER_BIT,
+                      n * tech.REGFILE_POWER_PER_BIT,
+                      f"regfile ({entries}x{bits}b 2R1W)")
+
+
+def lane_cost(bits: int = tech.WORD_BITS,
+              regfile_entries: int = tech.REGFILE_DEFAULT_ENTRIES) -> CostReport:
+    """One full computing lane (Fig. 1c): modmul + modadd + regfile."""
+    total = (barrett_multiplier_cost(bits)
+             + modular_adder_cost(bits)
+             + register_file_cost(regfile_entries, bits))
+    return CostReport(total.area_um2, total.power_mw, f"lane ({bits}b)")

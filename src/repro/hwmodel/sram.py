@@ -1,0 +1,63 @@
+"""CACTI-style analytic SRAM macro model.
+
+The paper models its SRAM and register files with FN-CACTI scaled to
+7 nm.  This stripped-down analogue prices a macro from its structural
+parameters: storage bits, IO width, port count and access duty cycle.
+Constants are calibrated as documented in
+:mod:`repro.hwmodel.technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwmodel import technology as tech
+from repro.hwmodel.components import CostReport
+
+
+@dataclass(frozen=True)
+class SramMacro:
+    """An on-chip SRAM buffer.
+
+    Parameters
+    ----------
+    bits:
+        Total storage capacity in bits.
+    io_bits:
+        Width of one access port in bits.
+    ports:
+        Number of simultaneously active ports (2 for the dual-port
+        streaming quadrant-swap buffers of F1).
+    duty:
+        Fraction of cycles each port is active.  F1's quadrant swap
+        streams a read and a write every cycle (duty 1.0); SHARP's
+        hierarchical buffers alternate read and write phases (duty 0.5).
+    """
+
+    bits: int
+    io_bits: int
+    ports: int = 1
+    duty: float = 1.0
+    label: str = "sram"
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.io_bits <= 0 or self.ports <= 0:
+            raise ValueError("bits, io_bits and ports must be positive")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError(f"duty must be in [0, 1], got {self.duty}")
+
+    @property
+    def area_um2(self) -> float:
+        array = self.bits * tech.SRAM_CELL_AREA_PER_BIT
+        periphery = self.io_bits * self.ports * tech.SRAM_IO_AREA_PER_BIT_PORT
+        return array + periphery
+
+    @property
+    def power_mw(self) -> float:
+        dynamic = (self.io_bits * self.ports * self.duty
+                   * tech.SRAM_ACCESS_POWER_PER_BIT_PORT)
+        leakage = self.bits * tech.SRAM_LEAKAGE_PER_BIT
+        return dynamic + leakage
+
+    def cost(self) -> CostReport:
+        return CostReport(self.area_um2, self.power_mw, self.label)

@@ -1,0 +1,28 @@
+"""Whole-VPU cost roll-up (paper Table II, right-hand columns).
+
+A VPU is ``m`` computing lanes (Barrett modmul + modadd + register file)
+plus one permutation structure — ours, or any of the ported baselines.
+As the paper observes, the lanes dominate; the network choice still moves
+the total by up to 1.2x area / 1.1x power.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel import technology as tech
+from repro.hwmodel.components import CostReport, lane_cost
+
+
+def lanes_cost(m: int, bits: int = tech.WORD_BITS,
+               regfile_entries: int = tech.REGFILE_DEFAULT_ENTRIES) -> CostReport:
+    """All ``m`` computing lanes of a VPU."""
+    one = lane_cost(bits, regfile_entries)
+    return CostReport(one.area_um2 * m, one.power_mw * m, f"{m} lanes")
+
+
+def vpu_cost(m: int, network: CostReport,
+             bits: int = tech.WORD_BITS,
+             regfile_entries: int = tech.REGFILE_DEFAULT_ENTRIES) -> CostReport:
+    """Full VPU: lanes plus the given permutation-network cost."""
+    total = lanes_cost(m, bits, regfile_entries) + network
+    return CostReport(total.area_um2, total.power_mw,
+                      f"VPU (m={m}, {network.label})")

@@ -1,0 +1,57 @@
+"""Matrix/tensor multiplication on the VPU (paper §III-A).
+
+Keyswitch contains matrix/tensor products between ciphertext digits and
+key polynomials.  On the unified VPU these are element-wise multiplies
+plus *cross-lane reductions*, which — as the paper notes — "can be
+trivially done using the shift functionality of the inter-lane network":
+``log2 m`` uniform-shift-and-add rounds.
+
+Two flavors are compiled here:
+
+* :func:`compile_dot_product` — one dot product of two ``m``-element
+  register rows; result broadcast to all lanes.
+* :func:`compile_matvec` — ``y = A @ x`` for an ``r x m`` matrix held as
+  ``r`` register rows: one element-wise multiply plus one reduction per
+  output element.
+"""
+
+from __future__ import annotations
+
+from repro.core.isa import Program, VMul
+from repro.mapping.reduction import compile_reduction
+
+
+def compile_dot_product(m: int, a_reg: int, b_reg: int,
+                        out_reg: int, tmp_reg: int) -> Program:
+    """Dot product of two register rows; every lane ends with the sum."""
+    if out_reg in (a_reg, b_reg) or tmp_reg in (a_reg, b_reg, out_reg):
+        raise ValueError("registers must be distinct")
+    prog = Program(label=f"dot-{m}")
+    prog.append(VMul(out_reg, a_reg, b_reg))
+    prog.extend(list(compile_reduction(m, data_reg=out_reg, tmp_reg=tmp_reg)))
+    return prog
+
+
+def compile_matvec(m: int, rows: int, matrix_base: int, x_reg: int,
+                   out_base: int, tmp_reg: int) -> Program:
+    """``y[i] = sum_j A[i][j] * x[j]`` for an ``rows x m`` matrix.
+
+    Matrix row ``i`` lives in register ``matrix_base + i``; output ``i``
+    is broadcast across register ``out_base + i``.  Cost: ``rows``
+    multiplies plus ``rows * log2(m)`` shift-add rounds.
+    """
+    last_needed = max(matrix_base + rows, x_reg + 1, out_base + rows,
+                      tmp_reg + 1)
+    del last_needed  # callers size the register file; document the span
+    prog = Program(label=f"matvec-{rows}x{m}")
+    for i in range(rows):
+        prog.append(VMul(out_base + i, matrix_base + i, x_reg))
+        prog.extend(list(compile_reduction(m, data_reg=out_base + i,
+                                           tmp_reg=tmp_reg)))
+    return prog
+
+
+def matvec_cycle_count(m: int, rows: int) -> int:
+    """Vector cycles of the compiled matvec: rows * (1 + 2*log2 m)."""
+    log_m = m.bit_length() - 1
+    return rows * (1 + 2 * log_m)

@@ -1,0 +1,34 @@
+"""Cross-lane reductions on the shift network (paper §III-A).
+
+Matrix/tensor products need cross-lane accumulation on top of the
+element-wise multiplies.  The paper notes this "can be trivially done
+using the shift functionality of the inter-lane network": a logarithmic
+tree of uniform shift passes interleaved with additions, after which
+every lane holds the full sum.
+"""
+
+from __future__ import annotations
+
+from repro.automorphism.controls import uniform_shift_controls
+from repro.core.isa import NetworkPass, Program, VAdd
+from repro.core.network import NetworkConfig
+
+
+def compile_reduction(m: int, data_reg: int = 0, tmp_reg: int = 1) -> Program:
+    """Emit an all-lanes sum reduction of one register row.
+
+    ``log2 m`` rounds of (uniform shift by ``m/2^k``, add); afterwards
+    every lane of ``data_reg`` holds the sum of the original row.
+    """
+    if m < 2 or m & (m - 1):
+        raise ValueError(f"m must be a power of two >= 2, got {m}")
+    prog = Program(label=f"reduce-{m}")
+    distance = m // 2
+    while distance >= 1:
+        prog.append(NetworkPass(
+            tmp_reg, data_reg,
+            NetworkConfig(shift=uniform_shift_controls(m, distance)),
+        ))
+        prog.append(VAdd(data_reg, data_reg, tmp_reg))
+        distance //= 2
+    return prog

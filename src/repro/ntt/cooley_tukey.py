@@ -1,0 +1,120 @@
+"""Iterative O(N log N) NTTs: Gentleman–Sande DIF and Cooley–Tukey DIT.
+
+Conventions (shared across the repository):
+
+* ``ntt_dif``: natural-order input, **bit-reversed** output, forward
+  transform with root ``omega``.
+* ``intt_dit``: **bit-reversed** input, natural-order output, inverse
+  transform (uses ``omega^{-1}`` internally and scales by ``n^{-1}``).
+
+Chaining them needs no bit-reversal pass — the property the VPU exploits
+by providing both DIT and DIF butterflies (paper §III-A).
+
+Scalar versions operate on Python ints (any modulus width); the ``vec_*``
+versions are vectorized numpy paths for ``q < 2**31``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ntt.tables import NttTables
+
+
+def ntt_dif(x: list[int], tables: NttTables) -> list[int]:
+    """Forward DIF NTT.  Natural-order input, bit-reversed output."""
+    n, q = tables.n, tables.q
+    if len(x) != n:
+        raise ValueError(f"expected length {n}, got {len(x)}")
+    a = [int(v) % q for v in x]
+    length = n // 2
+    while length >= 1:
+        # Stage twiddle step: omega^(n / (2*length)).
+        step = n // (2 * length)
+        for start in range(0, n, 2 * length):
+            for j in range(length):
+                u = a[start + j]
+                v = a[start + j + length]
+                a[start + j] = (u + v) % q
+                a[start + j + length] = (u - v) * tables.omega_power(j * step) % q
+        length //= 2
+    return a
+
+
+def intt_dit(x: list[int], tables: NttTables) -> list[int]:
+    """Inverse DIT NTT.  Bit-reversed input, natural-order output."""
+    n, q = tables.n, tables.q
+    if len(x) != n:
+        raise ValueError(f"expected length {n}, got {len(x)}")
+    a = [int(v) % q for v in x]
+    length = 1
+    while length < n:
+        step = n // (2 * length)
+        for start in range(0, n, 2 * length):
+            for j in range(length):
+                u = a[start + j]
+                v = a[start + j + length] * tables.omega_inv_power(j * step) % q
+                a[start + j] = (u + v) % q
+                a[start + j + length] = (u - v) % q
+        length *= 2
+    n_inv = tables.n_inv
+    return [v * n_inv % q for v in a]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized numpy paths (q < 2**31)
+# ---------------------------------------------------------------------------
+
+
+def _check_vec(tables: NttTables) -> None:
+    if tables.q >= (1 << 31):
+        raise ValueError("vectorized NTT requires q < 2**31")
+
+
+def vec_ntt_dif(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Vectorized forward DIF NTT (natural in, bit-reversed out).
+
+    Accepts an array whose **last axis** has length ``n``; transforms all
+    leading axes independently (batched NTT over RNS limbs).
+    """
+    _check_vec(tables)
+    n, q = tables.n, np.uint64(tables.q)
+    x = np.asarray(x, dtype=np.uint64)
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    a = (x % q).reshape(-1, n).copy()
+    length = n // 2
+    while length >= 1:
+        step = n // (2 * length)
+        tw = tables.omega_powers[(np.arange(length) * step) % n]
+        blocks = a.reshape(a.shape[0], -1, 2 * length)
+        u = blocks[:, :, :length]
+        v = blocks[:, :, length:]
+        total = u + v
+        diff = (u + q) - v
+        blocks[:, :, :length] = total % q
+        blocks[:, :, length:] = (diff % q) * tw % q
+        length //= 2
+    return a.reshape(x.shape)
+
+
+def vec_intt_dit(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Vectorized inverse DIT NTT (bit-reversed in, natural out)."""
+    _check_vec(tables)
+    n, q = tables.n, np.uint64(tables.q)
+    x = np.asarray(x, dtype=np.uint64)
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    a = (x % q).reshape(-1, n).copy()
+    length = 1
+    while length < n:
+        step = n // (2 * length)
+        tw = tables.omega_inv_powers[(np.arange(length) * step) % n]
+        blocks = a.reshape(a.shape[0], -1, 2 * length)
+        u = blocks[:, :, :length].copy()
+        v = blocks[:, :, length:] * tw % q
+        blocks[:, :, :length] = (u + v) % q
+        blocks[:, :, length:] = ((u + q) - v) % q
+        length *= 2
+    a = a * np.uint64(tables.n_inv) % q
+    return a.reshape(x.shape)

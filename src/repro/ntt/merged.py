@@ -1,0 +1,82 @@
+"""Merged-psi negacyclic NTT (Longa–Naehrig style).
+
+The :class:`~repro.ntt.negacyclic.NegacyclicNtt` wrapper folds
+``psi^j`` into the inputs with an explicit element-wise pass.  Real
+implementations avoid that pass entirely by absorbing the ``psi`` powers
+into the stage twiddles: the forward transform becomes Cooley–Tukey
+butterflies over a bit-reversed ``psi``-power table, and the inverse a
+Gentleman–Sande sweep over the inverse table — one multiply per
+butterfly and no pre/post scaling.
+
+Both functions below use the natural-in / bit-reversed-out (forward) and
+bit-reversed-in / natural-out (inverse) convention of the rest of the
+repository and are verified against the fold-based wrapper bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ntt.bitrev import bit_reverse_indices
+from repro.ntt.tables import NttTables
+
+
+def _psi_rev_tables(tables: NttTables) -> tuple[np.ndarray, np.ndarray]:
+    """``psi``/``psi^{-1}`` powers indexed in bit-reversed order."""
+    bitrev = bit_reverse_indices(tables.n)
+    return tables.psi_powers[bitrev], tables.psi_inv_powers[bitrev]
+
+
+def merged_forward(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Forward negacyclic NTT with psi merged into the twiddles.
+
+    Natural-order coefficients in, bit-reversed evaluation values out —
+    identical output to ``NegacyclicNtt.forward_bitrev`` with one fewer
+    full multiply pass.
+    """
+    if tables.q >= (1 << 31):
+        raise ValueError("merged NTT requires q < 2**31")
+    n, q = tables.n, np.uint64(tables.q)
+    a = (np.asarray(x, dtype=np.uint64) % q).copy()
+    if len(a) != n:
+        raise ValueError(f"expected length {n}, got {len(a)}")
+    psi_rev, _ = _psi_rev_tables(tables)
+    blocks = 1
+    t = n
+    while blocks < n:
+        t //= 2
+        view = a.reshape(blocks, 2 * t)
+        u = view[:, :t].copy()
+        s = psi_rev[blocks:2 * blocks].reshape(blocks, 1)
+        v = view[:, t:] * s % q
+        view[:, :t] = (u + v) % q
+        view[:, t:] = ((u + q) - v) % q
+        blocks *= 2
+    return a
+
+
+def merged_inverse(values: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Inverse negacyclic NTT with psi^{-1} merged into the twiddles.
+
+    Bit-reversed evaluation values in, natural-order coefficients out —
+    identical to ``NegacyclicNtt.inverse_bitrev``.
+    """
+    if tables.q >= (1 << 31):
+        raise ValueError("merged NTT requires q < 2**31")
+    n, q = tables.n, np.uint64(tables.q)
+    a = (np.asarray(values, dtype=np.uint64) % q).copy()
+    if len(a) != n:
+        raise ValueError(f"expected length {n}, got {len(a)}")
+    _, psi_inv_rev = _psi_rev_tables(tables)
+    blocks = n // 2
+    t = 1
+    while blocks >= 1:
+        view = a.reshape(blocks, 2 * t)
+        u = view[:, :t].copy()
+        v = view[:, t:].copy()
+        s = psi_inv_rev[blocks:2 * blocks].reshape(blocks, 1)
+        view[:, :t] = (u + v) % q
+        view[:, t:] = ((u + q) - v) % q * s % q
+        blocks //= 2
+        t *= 2
+    return a * np.uint64(tables.n_inv) % q

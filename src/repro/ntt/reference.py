@@ -1,0 +1,75 @@
+"""Naive O(N²) reference transforms — the golden model.
+
+Everything else in :mod:`repro.ntt` (and the VPU-mapped kernels) is tested
+against these direct-summation implementations.
+"""
+
+from __future__ import annotations
+
+from repro.arith.modular import mod_inverse
+
+
+def naive_ntt(x: list[int] | tuple[int, ...], omega: int, q: int) -> list[int]:
+    """Forward cyclic NTT: ``X[k] = sum_j x[j] * omega**(j*k) mod q``.
+
+    ``omega`` must be a primitive ``len(x)``-th root of unity mod ``q``.
+    """
+    n = len(x)
+    return [
+        sum(int(x[j]) * pow(omega, j * k, q) for j in range(n)) % q
+        for k in range(n)
+    ]
+
+
+def naive_intt(big_x: list[int] | tuple[int, ...], omega: int, q: int) -> list[int]:
+    """Inverse cyclic NTT: ``x[j] = n^{-1} sum_k X[k] * omega**(-j*k)``."""
+    n = len(big_x)
+    omega_inv = mod_inverse(omega, q)
+    n_inv = mod_inverse(n, q)
+    return [
+        n_inv * sum(int(big_x[k]) * pow(omega_inv, j * k, q) for k in range(n)) % q
+        for j in range(n)
+    ]
+
+
+def naive_negacyclic_poly_mul(
+    a: list[int] | tuple[int, ...], b: list[int] | tuple[int, ...], q: int
+) -> list[int]:
+    """Schoolbook multiplication in ``Z_q[X] / (X^n + 1)``.
+
+    ``X^n = -1``, so coefficient products that wrap around pick up a sign
+    flip.  Quadratic, but unimpeachable.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    result = [0] * n
+    for i in range(n):
+        ai = int(a[i]) % q
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * (int(b[j]) % q)
+            if k < n:
+                result[k] = (result[k] + term) % q
+            else:
+                result[k - n] = (result[k - n] - term) % q
+    return result
+
+
+def naive_cyclic_poly_mul(
+    a: list[int] | tuple[int, ...], b: list[int] | tuple[int, ...], q: int
+) -> list[int]:
+    """Schoolbook multiplication in ``Z_q[X] / (X^n - 1)`` (cyclic)."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    result = [0] * n
+    for i in range(n):
+        ai = int(a[i]) % q
+        if ai == 0:
+            continue
+        for j in range(n):
+            result[(i + j) % n] = (result[(i + j) % n] + ai * (int(b[j]) % q)) % q
+    return result

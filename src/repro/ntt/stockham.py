@@ -1,0 +1,54 @@
+"""Stockham autosort NTT — the other hardware-friendly organization.
+
+Pease's constant geometry (what the paper's CG stages implement) fixes
+the *interconnect* across stages at the cost of bit-reversed output;
+Stockham's autosort variant instead reshapes the data between two
+ping-pong buffers so the output comes out in **natural order** with no
+bit-reversal pass — the organization bandwidth-bound software NTTs and
+some streaming FFT pipelines prefer.
+
+Including it lets the test-suite demonstrate *why* the paper picks CG
+for a lane-based VPU: Stockham's stage-varying strides would need a
+different inter-lane wiring per stage (exactly what the unified network
+avoids), while its autosorting property buys nothing on hardware that
+chains DIF into DIT anyway (§III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ntt.tables import NttTables
+
+
+def stockham_forward(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Forward cyclic NTT, natural order in *and* out.
+
+    Radix-2 DIF Stockham with ping-pong buffers: at each level the
+    working array is a ``(n_cur, s)`` matrix of ``s`` interleaved
+    sub-problems of length ``n_cur``; butterflies pair rows ``p`` and
+    ``p + n_cur/2`` and write to rows ``(2p, 2p+1)`` of the other
+    buffer, doubling the interleave ``s``.  The write-side shuffle is
+    what sorts the output — no bit-reversal pass ever happens.
+    """
+    if tables.q >= (1 << 31):
+        raise ValueError("vectorized Stockham requires q < 2**31")
+    n, q = tables.n, np.uint64(tables.q)
+    a = (np.asarray(x, dtype=np.uint64) % q).copy()
+    if len(a) != n:
+        raise ValueError(f"expected length {n}, got {len(a)}")
+    n_cur, s = n, 1
+    while n_cur > 1:
+        m = n_cur // 2
+        view = a.reshape(n_cur, s)
+        u = view[:m]
+        v = view[m:]
+        # Sub-problem root: omega^(n / n_cur), powered by the row index.
+        tw = tables.omega_powers[
+            (np.arange(m) * (n // n_cur)) % n].reshape(m, 1)
+        out = np.empty((m, 2, s), dtype=np.uint64)
+        out[:, 0, :] = (u + v) % q
+        out[:, 1, :] = ((u + q) - v) % q * tw % q
+        a = out.reshape(-1)
+        n_cur, s = m, 2 * s
+    return a

@@ -1,0 +1,91 @@
+"""Precomputed twiddle-factor tables.
+
+A single :class:`NttTables` instance bundles everything the transform
+kernels (and the VPU mapping layer) need for one ``(n, q)`` pair: the
+primitive roots, their power tables, the negacyclic ``psi`` scalings, and
+the bit-reversal permutation.  Tables are cached per ``(n, q)`` because
+CKKS reuses the same ring for every limb operation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.arith.modular import mod_inverse
+from repro.arith.primes import nth_root_of_unity
+from repro.ntt.bitrev import bit_reverse_indices
+
+
+class NttTables:
+    """Twiddle tables for a length-``n`` NTT modulo prime ``q``.
+
+    Parameters
+    ----------
+    n:
+        Transform length; a power of two with ``2n | q - 1`` (so the
+        negacyclic tables exist too).
+    q:
+        Prime modulus.
+
+    Attributes
+    ----------
+    omega:
+        A primitive ``n``-th root of unity (``psi**2``).
+    psi:
+        A primitive ``2n``-th root of unity used for negacyclic folding.
+    omega_powers / omega_inv_powers:
+        ``omega**j`` and ``omega**(-j)`` for ``j in [0, n)`` (uint64 when
+        ``q < 2**31``, object arrays otherwise).
+    psi_powers / psi_inv_powers:
+        Likewise for ``psi``.
+    n_inv:
+        ``n**(-1) mod q``.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n <= 0 or n & (n - 1):
+            raise ValueError(f"n must be a positive power of two, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q={q} is not NTT-friendly for n={n} (need 2n | q-1)")
+        self.n = n
+        self.q = q
+        self.log_n = n.bit_length() - 1
+        self.psi = nth_root_of_unity(2 * n, q)
+        self.omega = pow(self.psi, 2, q)
+        self.omega_inv = mod_inverse(self.omega, q)
+        self.psi_inv = mod_inverse(self.psi, q)
+        self.n_inv = mod_inverse(n, q)
+
+        dtype = np.uint64 if q < (1 << 31) else object
+        self.omega_powers = self._power_table(self.omega, n, dtype)
+        self.omega_inv_powers = self._power_table(self.omega_inv, n, dtype)
+        self.psi_powers = self._power_table(self.psi, n, dtype)
+        self.psi_inv_powers = self._power_table(self.psi_inv, n, dtype)
+        self.bitrev = bit_reverse_indices(n)
+
+    def _power_table(self, base: int, count: int, dtype) -> np.ndarray:
+        powers = np.empty(count, dtype=dtype)
+        value = 1
+        for i in range(count):
+            powers[i] = value if dtype is object else np.uint64(value)
+            value = value * base % self.q
+        return powers
+
+    def omega_power(self, exponent: int) -> int:
+        """Return ``omega ** exponent mod q`` (any integer exponent)."""
+        return int(self.omega_powers[exponent % self.n])
+
+    def omega_inv_power(self, exponent: int) -> int:
+        """Return ``omega ** (-exponent) mod q``."""
+        return int(self.omega_inv_powers[exponent % self.n])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"NttTables(n={self.n}, q={self.q})"
+
+
+@lru_cache(maxsize=64)
+def get_tables(n: int, q: int) -> NttTables:
+    """Cached :class:`NttTables` lookup."""
+    return NttTables(n, q)

@@ -1,0 +1,84 @@
+"""Roofline analysis: are the accelerator's FHE operations compute- or
+memory-bound?
+
+For each ciphertext-level operation the model computes the *arithmetic
+intensity* (lane operations per byte of scratchpad traffic) and compares
+it with the machine balance (lane throughput over scratchpad bandwidth):
+intensities below the balance point leave lanes starved — the regime
+where adding VPUs stops helping and the paper's SRAM-reuse structure
+(Fig. 1a) earns its area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (accel uses perf)
+    from repro.accel.accelerator import Accelerator
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operation placed on the roofline."""
+
+    operation: str
+    lane_ops: int
+    bytes_moved: int
+    machine_balance: float  # lane ops per byte at which the knee sits
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.lane_ops / self.bytes_moved if self.bytes_moved else float("inf")
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.arithmetic_intensity >= self.machine_balance
+
+
+def machine_balance(acc: Accelerator) -> float:
+    """Lane ops per byte at peak: lane throughput / SRAM bandwidth."""
+    ops_per_cycle = acc.num_vpus * acc.lanes
+    bytes_per_cycle = acc.sram.words_per_cycle * 8
+    return ops_per_cycle / bytes_per_cycle
+
+
+def place_operation(acc: Accelerator, operation: str, n: int,
+                    level: int) -> RooflinePoint:
+    """Compute one operation's roofline position."""
+    if operation == "hmult":
+        reports = acc.schedule_hmult(n, level)
+    elif operation == "hrot":
+        reports = acc.schedule_hrot(n, level)
+    elif operation == "hadd":
+        reports = [acc.schedule_elementwise(n, level + 1)]
+    else:
+        raise ValueError(f"unknown operation {operation!r}")
+    lane_ops = sum(
+        sum(r.vpu_cycles) * acc.lanes for r in reports
+    )
+    bytes_moved = sum(
+        r.kernel_instances * n * 2 * 8 for r in reports  # in + out per kernel
+    )
+    return RooflinePoint(operation, lane_ops, bytes_moved,
+                         machine_balance(acc))
+
+
+def roofline_table(acc: Accelerator, n: int = 4096,
+                   level: int = 5) -> list[RooflinePoint]:
+    """All three §II-A operations on the roofline."""
+    return [place_operation(acc, op, n, level)
+            for op in ("hadd", "hrot", "hmult")]
+
+
+def render_roofline(points: list[RooflinePoint]) -> str:
+    lines = [f"machine balance: {points[0].machine_balance:.2f} lane-ops/byte",
+             f"{'op':6s} {'lane ops':>12s} {'bytes':>12s} {'intensity':>10s} "
+             f"{'bound':>8s}"]
+    for p in points:
+        lines.append(
+            f"{p.operation:6s} {p.lane_ops:12d} {p.bytes_moved:12d} "
+            f"{p.arithmetic_intensity:10.2f} "
+            f"{'compute' if p.compute_bound else 'memory':>8s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Table III reproduction: throughput utilization of NTT and automorphism.
+
+The paper evaluates N = 2^10 .. 2^20 on the default 64-lane VPU and
+reports 74–85% lane utilization for NTTs (transposes occupy the network
+without feeding the butterflies) and exactly 100% for automorphisms
+(single-traversal passes).  The utilization dips whenever N crosses a
+power of m = 64 (2^12 and 2^18) because the decomposition gains a
+dimension and with it another round of transposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ntt.decomposition import choose_dimensions
+from repro.perf.cycles import automorphism_cycle_model, ntt_cycle_model
+
+#: Paper Table III: N -> (NTT utilization, automorphism utilization).
+PAPER_TABLE_III = {
+    2**10: (0.7477, 1.0),
+    2**12: (0.8514, 1.0),
+    2**14: (0.7763, 1.0),
+    2**16: (0.7996, 1.0),
+    2**18: (0.8181, 1.0),
+    2**20: (0.8080, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """One row of the reproduced Table III."""
+
+    n: int
+    dimensions: tuple[int, ...]
+    ntt_utilization: float
+    automorphism_utilization: float
+    paper_ntt: float | None = None
+    paper_automorphism: float | None = None
+
+    @property
+    def ntt_delta_pp(self) -> float | None:
+        """Model minus paper, in percentage points."""
+        if self.paper_ntt is None:
+            return None
+        return 100 * (self.ntt_utilization - self.paper_ntt)
+
+
+def utilization_report(n: int, m: int = 64) -> UtilizationRow:
+    """Compute one utilization row for a given transform length."""
+    ntt = ntt_cycle_model(n, m)
+    autom = automorphism_cycle_model(n, m)
+    paper = PAPER_TABLE_III.get(n) if m == 64 else None
+    return UtilizationRow(
+        n=n,
+        dimensions=tuple(choose_dimensions(n, m)),
+        ntt_utilization=ntt.utilization,
+        automorphism_utilization=autom.utilization,
+        paper_ntt=paper[0] if paper else None,
+        paper_automorphism=paper[1] if paper else None,
+    )
+
+
+def table3_rows(m: int = 64) -> list[UtilizationRow]:
+    """Reproduce all rows of Table III."""
+    return [utilization_report(n, m) for n in sorted(PAPER_TABLE_III)]
+
+
+def format_table3(rows: list[UtilizationRow] | None = None) -> str:
+    """Render the reproduced table next to the paper's numbers."""
+    rows = rows if rows is not None else table3_rows()
+    lines = [
+        f"{'N':>8} {'dims':>16} {'NTT util':>9} {'paper':>7} {'delta':>7} "
+        f"{'autom':>6} {'paper':>6}",
+    ]
+    for r in rows:
+        dims = "x".join(str(d) for d in r.dimensions)
+        paper_ntt = f"{100 * r.paper_ntt:6.2f}%" if r.paper_ntt else "    --"
+        delta = f"{r.ntt_delta_pp:+5.1f}pp" if r.ntt_delta_pp is not None else "     --"
+        paper_a = (f"{100 * r.paper_automorphism:5.0f}%"
+                   if r.paper_automorphism else "   --")
+        lines.append(
+            f"2^{r.n.bit_length() - 1:<5} {dims:>16} "
+            f"{100 * r.ntt_utilization:8.2f}% {paper_ntt} {delta} "
+            f"{100 * r.automorphism_utilization:5.0f}% {paper_a}"
+        )
+    return "\n".join(lines)

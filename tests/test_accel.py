@@ -1,0 +1,116 @@
+"""Tests for the accelerator top level (SRAM, NoC, scheduler)."""
+
+import pytest
+
+from repro.accel import Accelerator, OnChipSram, RingNoc
+
+
+class TestSram:
+    def test_bandwidth_cycles(self):
+        sram = OnChipSram(banks=16, words_per_bank_per_cycle=64)
+        assert sram.words_per_cycle == 1024
+        assert sram.access_cycles(1024) == 1
+        assert sram.access_cycles(1025) == 2
+        assert sram.access_cycles(0) == 0
+
+    def test_access_counters(self):
+        sram = OnChipSram()
+        sram.access_cycles(100)
+        sram.access_cycles(50, write=True)
+        assert sram.reads == 100 and sram.writes == 50
+
+    def test_fits(self):
+        sram = OnChipSram(capacity_bytes=1 << 20)
+        assert sram.fits((1 << 20) // 8)
+        assert not sram.fits((1 << 20) // 8 + 1)
+
+    def test_cost_positive(self):
+        c = OnChipSram().cost()
+        assert c.area_um2 > 0 and c.power_mw > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnChipSram(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            OnChipSram().access_cycles(-1)
+
+
+class TestNoc:
+    def test_hops(self):
+        noc = RingNoc(nodes=4)
+        assert noc.hops(0, 1) == 1
+        assert noc.hops(3, 0) == 1
+        assert noc.hops(1, 0) == 3  # unidirectional
+
+    def test_transfer_pipelining(self):
+        noc = RingNoc(nodes=4, link_words=8)
+        # 64 words = 8 flits; 2 hops + 7 drain cycles.
+        assert noc.transfer_cycles(0, 2, 64) == 9
+        assert noc.transfer_cycles(0, 0, 64) == 0
+        assert noc.transfer_cycles(0, 1, 0) == 0
+
+    def test_counters(self):
+        noc = RingNoc(nodes=4)
+        noc.transfer_cycles(0, 2, 16)
+        assert noc.total_flits == 2 and noc.total_hops == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingNoc(nodes=1)
+        noc = RingNoc(nodes=4)
+        with pytest.raises(ValueError):
+            noc.hops(0, 4)
+        with pytest.raises(ValueError):
+            noc.transfer_cycles(0, 1, -1)
+
+
+class TestScheduler:
+    def setup_method(self):
+        self.acc = Accelerator(num_vpus=8, lanes=64)
+
+    def test_ntt_schedule_balances(self):
+        r = self.acc.schedule_ntt(4096, limbs=6, polys=2)
+        assert r.kernel_instances == 12
+        assert sum(r.vpu_cycles) == 12 * r.cycles_per_kernel
+        assert r.vpu_load_balance >= 0.5
+
+    def test_perfect_balance_when_divisible(self):
+        r = self.acc.schedule_ntt(4096, limbs=4, polys=2)
+        assert r.vpu_load_balance == 1.0
+
+    def test_automorphism_full_throughput(self):
+        r = self.acc.schedule_automorphism(4096, limbs=6)
+        assert r.cycles_per_kernel == 4096 // 64
+
+    def test_keyswitch_composition(self):
+        reports = self.acc.schedule_keyswitch(4096, level=5)
+        assert len(reports) == 5
+        assert all(r.makespan_cycles > 0 for r in reports)
+
+    def test_hrot_includes_automorphism(self):
+        reports = self.acc.schedule_hrot(4096, level=5)
+        assert reports[0].operation.startswith("automorphism")
+        assert Accelerator.total_makespan(reports) > 0
+
+    def test_hmult_costs_more_than_hrot(self):
+        hmult = Accelerator.total_makespan(self.acc.schedule_hmult(4096, 5))
+        hrot = Accelerator.total_makespan(self.acc.schedule_hrot(4096, 5))
+        assert hmult > hrot * 0.8  # same order; HMult adds tensor+rescale
+
+    def test_more_vpus_reduce_makespan(self):
+        small = Accelerator(num_vpus=2, lanes=64)
+        big = Accelerator(num_vpus=16, lanes=64)
+        ms_small = Accelerator.total_makespan(small.schedule_keyswitch(4096, 5))
+        ms_big = Accelerator.total_makespan(big.schedule_keyswitch(4096, 5))
+        assert ms_big < ms_small
+
+    def test_cost_rollup(self):
+        c = self.acc.cost()
+        from repro.hwmodel import our_network_cost, vpu_cost
+
+        vpus_only = vpu_cost(64, our_network_cost(64)).area_um2 * 8
+        assert c.area_um2 > vpus_only  # SRAM + NoC add on top
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Accelerator(num_vpus=0)

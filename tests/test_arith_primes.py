@@ -1,0 +1,96 @@
+"""Unit tests for prime search and root-of-unity machinery."""
+
+import pytest
+
+from repro.arith import (
+    find_ntt_prime,
+    find_ntt_primes,
+    find_primitive_root,
+    is_prime,
+    nth_root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in known)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]:
+            assert not is_prime(n)
+
+    def test_large_known_primes(self):
+        assert is_prime((1 << 61) - 1)  # Mersenne prime M61
+        assert is_prime(998244353)
+        assert is_prime(4611686018326724609)
+
+    def test_large_composites(self):
+        assert not is_prime((1 << 61) - 3)
+        assert not is_prime(998244353 * 12289)
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize("q", [3, 5, 7, 17, 257, 7681, 12289, 998244353])
+    def test_generator_order(self, q):
+        g = find_primitive_root(q)
+        # g generates the full group: g^((q-1)/p) != 1 for each prime p | q-1
+        n = q - 1
+        f = set()
+        m, d = n, 2
+        while d * d <= m:
+            while m % d == 0:
+                f.add(d)
+                m //= d
+            d += 1
+        if m > 1:
+            f.add(m)
+        assert all(pow(g, n // p, q) != 1 for p in f)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            find_primitive_root(10)
+
+
+class TestRootsOfUnity:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 1024, 4096])
+    def test_root_order(self, n):
+        q = find_ntt_prime(2 * n, 30)
+        w = nth_root_of_unity(n, q)
+        assert pow(w, n, q) == 1
+        assert pow(w, n // 2, q) == q - 1  # primitive: w^(n/2) = -1
+
+    def test_order_must_divide(self):
+        with pytest.raises(ValueError):
+            nth_root_of_unity(8, 23)  # 8 does not divide 22
+
+
+class TestNttPrimeSearch:
+    def test_congruence_and_width(self):
+        for order, bits in [(2048, 30), (8192, 30), (2048, 60), (128, 20)]:
+            q = find_ntt_prime(order, bits)
+            assert is_prime(q)
+            assert q % order == 1
+            assert q.bit_length() == bits
+
+    def test_distinct_primes(self):
+        primes = find_ntt_primes(4096, 30, 5)
+        assert len(set(primes)) == 5
+        assert primes == sorted(primes, reverse=True)
+        for q in primes:
+            assert q % 4096 == 1 and is_prime(q)
+
+    def test_rejects_non_power_of_two_order(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(100, 30)
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(4096, 8)
+
+    def test_standard_primes_found(self):
+        # 998244353 = 119 * 2^23 + 1 is the classic NTT prime; make sure our
+        # search space includes primes of its shape.
+        q = find_ntt_prime(1 << 23, 30)
+        assert q % (1 << 23) == 1

@@ -1,0 +1,149 @@
+"""Tests for the R x C and recursive shift decompositions (paper §IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automorphism import (
+    AffinePermutation,
+    StridedShift,
+    column_decompose,
+    merge_shifts,
+    paper_sigma,
+    recursive_shift_decomposition,
+)
+
+
+class TestStridedShift:
+    def test_apply_basic(self):
+        s = StridedShift(n=8, stride=2, offset=0, amount=1)
+        x = np.arange(8)
+        out = s.apply(x)
+        # Evens [0,2,4,6] roll down by one subsequence slot -> [6,0,2,4].
+        np.testing.assert_array_equal(out, [6, 1, 0, 3, 2, 5, 4, 7])
+
+    def test_global_distance(self):
+        s = StridedShift(n=8, stride=2, offset=1, amount=3)
+        assert s.global_distance() == 6  # paper's m=8 example: odd group by 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridedShift(n=8, stride=3, offset=0, amount=1)
+        with pytest.raises(ValueError):
+            StridedShift(n=8, stride=2, offset=2, amount=1)
+
+    def test_paper_m8_example(self):
+        """§IV-B: sub-columns [0,2,4,6] and [1,3,5,7] shifted to
+        [4,6,0,2] and [7,1,3,5].  The paper counts distances upward
+        (2 and 3); in this library's downward convention those are
+        amounts 2 and 1 (global distances 4 and 2)."""
+        x = np.arange(8)
+        even = StridedShift(8, 2, 0, 2)
+        odd = StridedShift(8, 2, 1, 1)
+        out = odd.apply(even.apply(x))
+        np.testing.assert_array_equal(out[0::2], [4, 6, 0, 2])
+        np.testing.assert_array_equal(out[1::2], [7, 1, 3, 5])
+
+
+class TestColumnDecompose:
+    @pytest.mark.parametrize("n,rows", [(64, 8), (64, 64), (256, 16), (4096, 64)])
+    @pytest.mark.parametrize("r", [1, 2, 5])
+    def test_recombination_matches(self, n, rows, r):
+        perm = paper_sigma(n, r)
+        cols = n // rows
+        col_map, row_maps = column_decompose(perm, rows)
+        for i in range(n):
+            row, col = divmod(i, cols)
+            new_row = row_maps[col].dest(row)
+            new_col = col_map.dest(col)
+            assert perm.dest(i) == new_row * cols + new_col
+
+    def test_columns_stay_whole(self):
+        """Eq. 3: all elements of a column land in one destination column."""
+        perm = paper_sigma(4096, 3)
+        cols = 64
+        dest_cols = {}
+        for i in range(4096):
+            col = i % cols
+            dc = perm.dest(i) % cols
+            dest_cols.setdefault(col, set()).add(dc)
+        assert all(len(v) == 1 for v in dest_cols.values())
+
+    def test_affine_with_offset(self):
+        perm = AffinePermutation(256, 7, 13)
+        col_map, row_maps = column_decompose(perm, 16)
+        for i in range(256):
+            row, col = divmod(i, 16)
+            assert perm.dest(i) == row_maps[col].dest(row) * 16 + col_map.dest(col)
+
+    def test_row_maps_are_shift_when_k_mod_r_is_one(self):
+        """The key insight: when k === 1 (mod R) the row action is a pure
+        cyclic shift."""
+        n, rows = 256, 2
+        perm = AffinePermutation(n, 5, 0)  # 5 mod 2 == 1
+        _, row_maps = column_decompose(perm, rows)
+        assert all(rm.multiplier == 5 % rows == 1 for rm in row_maps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_decompose(paper_sigma(64, 1), 3)
+
+
+class TestRecursiveShiftDecomposition:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256])
+    @pytest.mark.parametrize("k", [1, 3, 5, 7, 25])
+    def test_composition_equals_automorphism(self, n, k):
+        perm = AffinePermutation(n, k, 0)
+        shifts = recursive_shift_decomposition(perm)
+        x = np.arange(n)
+        for s in shifts:
+            x = s.apply(x)
+        # x[j] = original index now at j; must equal perm.source(j).
+        np.testing.assert_array_equal(
+            x, [perm.source(j) for j in range(n)]
+        )
+
+    @pytest.mark.parametrize("n", [8, 64])
+    def test_with_offsets(self, n):
+        for k in range(1, min(n, 32), 2):
+            for s in [0, 1, 5, n - 1]:
+                perm = AffinePermutation(n, k, s)
+                shifts = recursive_shift_decomposition(perm)
+                x = np.arange(n)
+                for sh in shifts:
+                    x = sh.apply(x)
+                np.testing.assert_array_equal(
+                    x, [perm.source(j) for j in range(n)]
+                )
+
+    def test_merge_matches_distances(self):
+        """Merging all strided shifts gives exactly the affine distance
+        map — 'two shifts of distance 2 become one shift of distance 4'."""
+        perm = paper_sigma(64, 3)
+        shifts = recursive_shift_decomposition(perm)
+        merged = merge_shifts(shifts, 64)
+        np.testing.assert_array_equal(merged, perm.shift_distances())
+
+    def test_identity_yields_no_shifts(self):
+        assert recursive_shift_decomposition(AffinePermutation(64, 1, 0)) == []
+
+    def test_pure_shift_yields_single_shift(self):
+        shifts = recursive_shift_decomposition(AffinePermutation(64, 1, 5))
+        assert len(shifts) == 1
+        assert shifts[0].stride == 1 and shifts[0].amount == 5
+
+    def test_strides_are_powers_of_two(self):
+        shifts = recursive_shift_decomposition(paper_sigma(256, 7))
+        for s in shifts:
+            assert s.stride & (s.stride - 1) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=7),
+           st.integers(min_value=0, max_value=127),
+           st.integers(min_value=0, max_value=127))
+    def test_decomposition_property(self, log_n, k_raw, s):
+        n = 1 << log_n
+        perm = AffinePermutation(n, 2 * k_raw + 1, s)
+        merged = merge_shifts(recursive_shift_decomposition(perm), n)
+        np.testing.assert_array_equal(merged, perm.shift_distances())

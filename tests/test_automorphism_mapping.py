@@ -1,0 +1,186 @@
+"""Tests for Galois/automorphism index maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automorphism import (
+    AffinePermutation,
+    apply_galois_coeffs,
+    galois_element_for_rotation,
+    galois_eval_permutation,
+    paper_sigma,
+)
+from repro.ntt import NegacyclicNtt
+
+Q = 998244353
+
+
+class TestAffinePermutation:
+    def test_is_bijection(self):
+        for n in [2, 8, 64]:
+            for k in range(1, min(n, 16), 2):
+                for s in [0, 1, n // 2]:
+                    p = AffinePermutation(n, k, s)
+                    assert sorted(p.dest(i) for i in range(n)) == list(range(n))
+
+    def test_rejects_even_multiplier(self):
+        with pytest.raises(ValueError):
+            AffinePermutation(8, 2, 0)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            AffinePermutation(6, 5, 0)
+
+    def test_apply_semantics(self):
+        # "element at i moves to dest(i)"
+        p = AffinePermutation(8, 3, 1)
+        x = np.arange(8)
+        out = p.apply(x)
+        for i in range(8):
+            assert out[p.dest(i)] == i
+
+    def test_inverse(self):
+        p = AffinePermutation(64, 5, 17)
+        x = np.random.default_rng(0).integers(0, 100, 64)
+        np.testing.assert_array_equal(p.inverse().apply(p.apply(x)), x)
+
+    def test_source_inverts_dest(self):
+        p = AffinePermutation(32, 9, 5)
+        for i in range(32):
+            assert p.source(p.dest(i)) == i
+
+    def test_compose(self):
+        a = AffinePermutation(16, 3, 2)
+        b = AffinePermutation(16, 5, 7)
+        x = np.arange(16)
+        np.testing.assert_array_equal(
+            b.compose(a).apply(x), b.apply(a.apply(x))
+        )
+
+    def test_shift_distance_bit_property(self):
+        """Bit b of the shift distance depends only on i mod 2^b — the
+        property that makes single-pass routing possible."""
+        for n in [8, 64, 256]:
+            for k in [3, 5, n - 1, 2 * n // 4 + 1]:
+                for s in [0, 3, n // 2 + 1]:
+                    d = AffinePermutation(n, k, s).shift_distances()
+                    for b in range(n.bit_length() - 1):
+                        for a in range(1 << b):
+                            bits = {(int(d[i]) >> b) & 1
+                                    for i in range(a, n, 1 << b)}
+                            assert len(bits) == 1
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_bijection_property(self, log_n, k_raw, s):
+        n = 1 << log_n
+        p = AffinePermutation(n, 2 * k_raw + 1, s)
+        assert len({p.dest(i) for i in range(n)}) == n
+
+
+class TestPaperSigma:
+    def test_paper_example(self):
+        """Paper §II-C: N=64, r=2: elements 0,1,2,3,4 -> 0,25,50,11,36...
+        the paper lists destinations of a rotated mapping; verify with
+        Eq.(1) directly: sigma(i) = i * 5^2 mod 64."""
+        sigma = paper_sigma(64, 2)
+        assert sigma.multiplier == 25
+        for i in range(64):
+            assert sigma.dest(i) == i * 25 % 64
+
+    def test_identity_rotation(self):
+        assert paper_sigma(64, 0).is_identity()
+
+    def test_rejects_even_phi(self):
+        with pytest.raises(ValueError):
+            paper_sigma(64, 1, phi=4)
+
+    def test_distinct_sigmas_bounded(self):
+        """At most m/2 distinct automorphisms exist (the odd multipliers):
+        justifies the control-table size (paper §IV-B)."""
+        n = 64
+        multipliers = {paper_sigma(n, r).multiplier for r in range(200)}
+        assert len(multipliers) <= n // 2
+
+
+class TestGaloisEval:
+    @pytest.mark.parametrize("n", [8, 32, 256])
+    @pytest.mark.parametrize("r", [0, 1, 2, 5])
+    def test_eval_permutation_matches_polynomial_action(self, n, r):
+        """NTT(p(X^k)) must equal the affine permutation of NTT(p)."""
+        ntt = NegacyclicNtt(n, Q)
+        rng = np.random.default_rng(n + r)
+        coeffs = rng.integers(0, Q, size=n, dtype=np.uint64)
+        k = galois_element_for_rotation(n, r)
+        perm = galois_eval_permutation(n, k)
+        transformed = apply_galois_coeffs(coeffs, k, Q)
+        np.testing.assert_array_equal(
+            ntt.forward(transformed), perm.apply(ntt.forward(coeffs))
+        )
+
+    def test_conjugation_element(self):
+        """k = 2n - 1 (conjugation) is also a valid odd Galois element."""
+        n = 16
+        ntt = NegacyclicNtt(n, Q)
+        rng = np.random.default_rng(1)
+        coeffs = rng.integers(0, Q, size=n, dtype=np.uint64)
+        k = 2 * n - 1
+        perm = galois_eval_permutation(n, k)
+        transformed = apply_galois_coeffs(coeffs, k, Q)
+        np.testing.assert_array_equal(
+            ntt.forward(transformed), perm.apply(ntt.forward(coeffs))
+        )
+
+    def test_rejects_even_galois_element(self):
+        with pytest.raises(ValueError):
+            galois_eval_permutation(16, 4)
+        with pytest.raises(ValueError):
+            apply_galois_coeffs(np.zeros(16, dtype=np.uint64), 4, Q)
+
+    def test_galois_composition(self):
+        """Rotating by r1 then r2 equals rotating by r1+r2."""
+        n = 32
+        k1 = galois_element_for_rotation(n, 3)
+        k2 = galois_element_for_rotation(n, 4)
+        k12 = galois_element_for_rotation(n, 7)
+        p1 = galois_eval_permutation(n, k1)
+        p2 = galois_eval_permutation(n, k2)
+        p12 = galois_eval_permutation(n, k12)
+        x = np.arange(n)
+        np.testing.assert_array_equal(p2.apply(p1.apply(x)), p12.apply(x))
+
+
+class TestCoefficientAutomorphism:
+    def test_k_one_is_identity(self):
+        x = np.arange(16, dtype=np.uint64)
+        np.testing.assert_array_equal(apply_galois_coeffs(x, 1, Q), x % Q)
+
+    def test_applies_sign_flips(self):
+        # p(X) = X on Z_q[X]/(X^4+1); p(X^7) = X^7 = -X^3.
+        coeffs = np.array([0, 1, 0, 0], dtype=np.uint64)
+        out = apply_galois_coeffs(coeffs, 7, Q)
+        expected = np.array([0, 0, 0, Q - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_object_dtype(self):
+        coeffs = np.array([1, 2, 3, 4], dtype=object)
+        out = apply_galois_coeffs(coeffs, 3, 97)
+        # p = 1+2X+3X^2+4X^3; p(X^3) = 1 + 2X^3 + 3X^6 + 4X^9
+        #  X^6 = -X^2, X^9 = +X  ->  1 + 4X - 3X^2 + 2X^3
+        assert list(out) == [1, 4, 94, 2]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=63))
+    def test_invertible_property(self, log_n, k_raw):
+        n = 1 << log_n
+        k = (2 * k_raw + 1) % (2 * n)
+        from repro.arith import mod_inverse
+        k_inv = mod_inverse(k, 2 * n)
+        rng = np.random.default_rng(k)
+        coeffs = rng.integers(0, Q, size=n, dtype=np.uint64)
+        roundtrip = apply_galois_coeffs(apply_galois_coeffs(coeffs, k, Q), k_inv, Q)
+        np.testing.assert_array_equal(roundtrip, coeffs)

@@ -1,0 +1,181 @@
+"""Tests for the baseline permutation-unit behavioral models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automorphism import AffinePermutation, paper_sigma
+from repro.baselines import (
+    ArkPermuter,
+    BenesNetwork,
+    BtsPermuter,
+    Crossbar,
+    F1Permuter,
+    SharpPermuter,
+    affine_via_uniform_shifts,
+    quadrant_swap_transpose,
+)
+from repro.baselines.f1 import apply_shift_schedule
+from repro.ntt.constant_geometry import dif_gather_permutation
+
+
+class TestBenes:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 128])
+    def test_routes_random_permutations(self, n):
+        net = BenesNetwork(n)
+        rng = np.random.default_rng(n)
+        x = np.arange(n)
+        for _ in range(10):
+            dest = rng.permutation(n)
+            out = net.apply(x, dest)
+            expected = np.empty(n, dtype=np.int64)
+            expected[dest] = x
+            np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_routes_all_automorphisms(self, n):
+        net = BenesNetwork(n)
+        x = np.arange(n)
+        for k in range(1, n, 2):
+            perm = AffinePermutation(n, k)
+            np.testing.assert_array_equal(
+                net.apply(x, perm.destinations()), perm.apply(x)
+            )
+
+    def test_stage_count(self):
+        """Benes: 2*log2(n) - 1 columns — nearly double the paper's
+        log2(m) shift stages, for generality automorphisms never need."""
+        assert BenesNetwork(64).stage_count == 11
+        assert BenesNetwork(2).stage_count == 1
+        assert BenesNetwork(64).switch_count == 32 * 11
+
+    def test_identity(self):
+        net = BenesNetwork(16)
+        x = np.arange(16)
+        np.testing.assert_array_equal(net.apply(x, x), x)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).route(np.array([0, 0, 1, 2]))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(6)
+        with pytest.raises(ValueError):
+            BenesNetwork(4).apply(np.arange(3), np.arange(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31))
+    def test_random_permutation_property(self, log_n, seed):
+        n = 1 << log_n
+        dest = np.random.default_rng(seed).permutation(n)
+        out = BenesNetwork(n).apply(np.arange(n), dest)
+        expected = np.empty(n, dtype=np.int64)
+        expected[dest] = np.arange(n)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestCrossbar:
+    def test_permute(self):
+        xbar = Crossbar(8)
+        dest = np.array([3, 1, 0, 2, 7, 6, 5, 4])
+        out = xbar.permute(np.arange(8), dest)
+        expected = np.empty(8, dtype=np.int64)
+        expected[dest] = np.arange(8)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Crossbar(4).permute(np.arange(4), np.array([0, 0, 1, 2]))
+
+    def test_wire_lanes(self):
+        xbar = Crossbar(4)
+        assert xbar.total_wire_lanes(np.arange(4)) == 0
+        assert xbar.total_wire_lanes(np.array([3, 2, 1, 0])) == 8
+
+    def test_crosspoints_scale_quadratically(self):
+        assert Crossbar(64).crosspoint_count == 4096
+
+
+class TestQuadrantTranspose:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64])
+    def test_matches_numpy_transpose(self, n):
+        rng = np.random.default_rng(n)
+        tile = rng.integers(0, 1000, size=(n, n))
+        np.testing.assert_array_equal(quadrant_swap_transpose(tile), tile.T)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            quadrant_swap_transpose(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            quadrant_swap_transpose(np.zeros((3, 3)))
+
+
+class TestF1ShiftSchedule:
+    def test_schedule_realizes_permutation(self):
+        for m in [8, 64]:
+            x = np.arange(m)
+            for k in range(1, m, 2):
+                perm = AffinePermutation(m, k)
+                schedule = affine_via_uniform_shifts(perm)
+                out = apply_shift_schedule(x, schedule)
+                np.testing.assert_array_equal(out, perm.apply(x))
+
+    def test_pass_count_grows(self):
+        """A uniform-shift-only network needs one pass per distinct
+        distance; the unified network needs exactly one."""
+        m = 64
+        worst = max(len(affine_via_uniform_shifts(AffinePermutation(m, k)))
+                    for k in range(1, m, 2))
+        assert worst > 1  # F1 pays multiple passes
+        assert worst <= m // 2 + 1
+
+    def test_identity_is_single_pass(self):
+        schedule = affine_via_uniform_shifts(AffinePermutation(16, 1, 0))
+        assert len(schedule) == 1
+        assert schedule[0][0] == 0
+
+
+class TestPermuters:
+    @pytest.mark.parametrize("cls", [F1Permuter, BtsPermuter, ArkPermuter, SharpPermuter])
+    def test_automorphism_correct(self, cls):
+        m = 64
+        unit = cls(m)
+        x = np.random.default_rng(5).integers(0, 1000, m)
+        perm = paper_sigma(m, 3)
+        np.testing.assert_array_equal(unit.automorphism(x, perm), perm.apply(x))
+        assert unit.passes_executed >= 1
+
+    def test_f1_counts_multiple_passes(self):
+        unit = F1Permuter(64)
+        unit.automorphism(np.arange(64), paper_sigma(64, 3))
+        assert unit.passes_executed > 1
+
+    def test_single_pass_designs(self):
+        for cls in [BtsPermuter, ArkPermuter, SharpPermuter]:
+            unit = cls(64)
+            unit.automorphism(np.arange(64), paper_sigma(64, 3))
+            assert unit.passes_executed == 1
+
+    def test_transposes(self):
+        tile = np.random.default_rng(9).integers(0, 100, (64, 64))
+        assert np.array_equal(F1Permuter(64).transpose(tile), tile.T)
+        assert np.array_equal(SharpPermuter(64).transpose(tile), tile.T)
+
+    def test_ark_ntt_gather(self):
+        m = 8
+        unit = ArkPermuter(m)
+        x = np.arange(m)
+        np.testing.assert_array_equal(
+            unit.ntt_gather(x), x[dif_gather_permutation(m)]
+        )
+        # DIT scatter inverts the DIF gather.
+        np.testing.assert_array_equal(
+            unit.ntt_gather(unit.ntt_gather(x), dit=True), x
+        )
+
+    def test_validation(self):
+        for cls in [F1Permuter, ArkPermuter, SharpPermuter]:
+            with pytest.raises(ValueError):
+                cls(6)

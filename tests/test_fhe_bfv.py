@@ -1,0 +1,107 @@
+"""Tests for the BFV scheme — completing the §II-A trio (CKKS, BGV, BFV)
+on one substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.bfv import BfvContext
+from repro.fhe.bgv import BgvParams
+
+T = 257  # prime, T === 1 (mod 2*64)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BfvContext(BgvParams(n=64, levels=2, plaintext_modulus=T,
+                                prime_bits=28), seed=7)
+
+
+def rand_slots(seed):
+    return np.random.default_rng(seed).integers(0, T, 64).astype(np.int64)
+
+
+class TestBfvBasics:
+    def test_delta_floor(self, ctx):
+        assert ctx.delta == ctx.big_q // T
+
+    def test_encrypt_decrypt_exact(self, ctx):
+        v = rand_slots(0)
+        np.testing.assert_array_equal(ctx.decrypt(ctx.encrypt(v)), v % T)
+
+    def test_extremes(self, ctx):
+        for v in [np.zeros(64, dtype=np.int64),
+                  np.full(64, T - 1, dtype=np.int64)]:
+            np.testing.assert_array_equal(ctx.decrypt(ctx.encrypt(v)), v % T)
+
+
+class TestBfvHomomorphism:
+    def test_add_sub(self, ctx):
+        v1, v2 = rand_slots(1), rand_slots(2)
+        np.testing.assert_array_equal(
+            ctx.decrypt(ctx.add(ctx.encrypt(v1), ctx.encrypt(v2))),
+            (v1 + v2) % T)
+        np.testing.assert_array_equal(
+            ctx.decrypt(ctx.sub(ctx.encrypt(v1), ctx.encrypt(v2))),
+            (v1 - v2) % T)
+
+    def test_add_plain(self, ctx):
+        v1, v2 = rand_slots(3), rand_slots(4)
+        np.testing.assert_array_equal(
+            ctx.decrypt(ctx.add_plain(ctx.encrypt(v1), v2)), (v1 + v2) % T)
+
+    def test_multiply_plain(self, ctx):
+        v1, v2 = rand_slots(5), rand_slots(6)
+        expected = (v1.astype(object) * v2) % T
+        np.testing.assert_array_equal(
+            ctx.decrypt(ctx.multiply_plain(ctx.encrypt(v1), v2)),
+            expected.astype(np.int64))
+
+    def test_multiply_exact(self, ctx):
+        v1, v2 = rand_slots(7), rand_slots(8)
+        out = ctx.decrypt(ctx.multiply(ctx.encrypt(v1), ctx.encrypt(v2)))
+        expected = (v1.astype(object) * v2) % T
+        np.testing.assert_array_equal(out, expected.astype(np.int64))
+
+    def test_scale_invariance_depth_two(self, ctx):
+        """No modulus switching, no scale tracking: just multiply again."""
+        v1, v2, v3 = rand_slots(9), rand_slots(10), rand_slots(11)
+        ct = ctx.multiply(ctx.encrypt(v1), ctx.encrypt(v2))
+        out = ctx.decrypt(ctx.multiply(ct, ctx.encrypt(v3)))
+        expected = (v1.astype(object) * v2 * v3) % T
+        np.testing.assert_array_equal(out, expected.astype(np.int64))
+
+    def test_three_part_rejected(self, ctx):
+        from repro.fhe.bfv import BfvCiphertext
+
+        ct = ctx.encrypt(rand_slots(12))
+        with pytest.raises(ValueError):
+            ctx.multiply(BfvCiphertext(ct.parts * 2), ct)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_affine_property(self, ctx, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.integers(0, T, 64).astype(np.int64)
+        w = rng.integers(0, T, 64).astype(np.int64)
+        out = ctx.decrypt(ctx.add_plain(ctx.multiply_plain(ctx.encrypt(v), w),
+                                        w))
+        expected = ((v.astype(object) * w) + w) % T
+        np.testing.assert_array_equal(out, expected.astype(np.int64))
+
+
+class TestSchemeTrio:
+    def test_all_three_schemes_share_the_keyswitch(self, ctx):
+        """CKKS, BGV and BFV all relinearize through the same module —
+        the unified-substrate evidence for §II-A."""
+        from repro.fhe.bgv import BgvContext
+        from repro.fhe.ckks import CkksContext
+        from repro.fhe.keyswitch import KeySwitchKey
+        from repro.fhe.params import toy_params
+
+        ckks = CkksContext(toy_params(), seed=1)
+        bgv = BgvContext(BgvParams(n=64, levels=2, plaintext_modulus=T,
+                                   prime_bits=28), seed=1)
+        for context in (ckks, bgv, ctx):
+            assert isinstance(context.relin_key, KeySwitchKey)

@@ -1,0 +1,211 @@
+"""End-to-end CKKS tests: the homomorphic properties the accelerator's
+workload depends on (paper §II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext
+from repro.fhe.params import CkksParams, small_params, toy_params
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(), seed=7)
+
+
+@pytest.fixture(scope="module")
+def rot_ctx():
+    context = CkksContext(toy_params(), seed=8)
+    context.generate_galois_keys([1, 2, 4, 64], conjugation=True)
+    return context
+
+
+def rand_slots(ctx, seed, real=False):
+    rng = np.random.default_rng(seed)
+    slots = ctx.params.slots
+    z = rng.uniform(-1, 1, slots)
+    if not real:
+        z = z + 1j * rng.uniform(-1, 1, slots)
+    return z
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, ctx):
+        z = rand_slots(ctx, 0)
+        np.testing.assert_allclose(ctx.decrypt(ctx.encrypt(z)), z, atol=1e-3)
+
+    def test_fresh_ciphertext_shape(self, ctx):
+        ct = ctx.encrypt(rand_slots(ctx, 1))
+        assert ct.size == 2
+        assert ct.level == ctx.params.top_level
+        assert ct.scale == ctx.params.scale
+
+    def test_distinct_encryptions_differ(self, ctx):
+        z = rand_slots(ctx, 2)
+        a, b = ctx.encrypt(z), ctx.encrypt(z)
+        assert not np.array_equal(a.parts[0].residues, b.parts[0].residues)
+        np.testing.assert_allclose(ctx.decrypt(a), ctx.decrypt(b), atol=1e-3)
+
+
+class TestHAdd:
+    def test_add(self, ctx):
+        z1, z2 = rand_slots(ctx, 3), rand_slots(ctx, 4)
+        out = ctx.decrypt(ctx.add(ctx.encrypt(z1), ctx.encrypt(z2)))
+        np.testing.assert_allclose(out, z1 + z2, atol=1e-3)
+
+    def test_sub_and_negate(self, ctx):
+        z1, z2 = rand_slots(ctx, 5), rand_slots(ctx, 6)
+        out = ctx.decrypt(ctx.sub(ctx.encrypt(z1), ctx.encrypt(z2)))
+        np.testing.assert_allclose(out, z1 - z2, atol=1e-3)
+        out = ctx.decrypt(ctx.negate(ctx.encrypt(z1)))
+        np.testing.assert_allclose(out, -z1, atol=1e-3)
+
+    def test_add_plain(self, ctx):
+        z1, z2 = rand_slots(ctx, 7), rand_slots(ctx, 8)
+        out = ctx.decrypt(ctx.add_plain(ctx.encrypt(z1), z2))
+        np.testing.assert_allclose(out, z1 + z2, atol=1e-3)
+
+    def test_add_across_levels(self, ctx):
+        """Operands at different levels are mod-reduced automatically."""
+        z1, z2 = rand_slots(ctx, 9), rand_slots(ctx, 10)
+        low = ctx.mod_reduce(ctx.encrypt(z1), ctx.params.top_level - 1)
+        out = ctx.decrypt(ctx.add(low, ctx.encrypt(z2)))
+        np.testing.assert_allclose(out, z1 + z2, atol=1e-3)
+
+    def test_scale_mismatch_rejected(self, ctx):
+        z = rand_slots(ctx, 11)
+        ct = ctx.encrypt(z)
+        ct_rescaled = ctx.multiply(ct, ct)  # different scale now
+        with pytest.raises(ValueError):
+            ctx.add(ct, ct_rescaled)
+
+
+class TestHMult:
+    def test_multiply(self, ctx):
+        z1, z2 = rand_slots(ctx, 12), rand_slots(ctx, 13)
+        ct = ctx.multiply(ctx.encrypt(z1), ctx.encrypt(z2))
+        assert ct.size == 2  # relinearized
+        assert ct.level == ctx.params.top_level - 1  # rescaled
+        np.testing.assert_allclose(ctx.decrypt(ct), z1 * z2, atol=2e-3)
+
+    def test_square(self, ctx):
+        z = rand_slots(ctx, 14)
+        np.testing.assert_allclose(ctx.decrypt(ctx.square(ctx.encrypt(z))),
+                                   z * z, atol=2e-3)
+
+    def test_multiply_without_rescale(self, ctx):
+        z1, z2 = rand_slots(ctx, 15), rand_slots(ctx, 16)
+        ct = ctx.multiply(ctx.encrypt(z1), ctx.encrypt(z2), rescale_after=False)
+        assert ct.level == ctx.params.top_level
+        assert ct.scale == ctx.params.scale ** 2
+        np.testing.assert_allclose(ctx.decrypt(ct), z1 * z2, atol=2e-3)
+
+    def test_multiply_plain(self, ctx):
+        z1, z2 = rand_slots(ctx, 17), rand_slots(ctx, 18)
+        out = ctx.decrypt(ctx.multiply_plain(ctx.encrypt(z1), z2))
+        np.testing.assert_allclose(out, z1 * z2, atol=2e-3)
+
+    def test_depth_two(self, ctx):
+        z1, z2, z3 = (rand_slots(ctx, s) for s in (19, 20, 21))
+        ct = ctx.multiply(ctx.multiply(ctx.encrypt(z1), ctx.encrypt(z2)),
+                          ctx.encrypt(z3))
+        np.testing.assert_allclose(ctx.decrypt(ct), z1 * z2 * z3, atol=2e-2)
+
+    def test_unrelinearized_three_part_decrypts(self, ctx):
+        z1, z2 = rand_slots(ctx, 22), rand_slots(ctx, 23)
+        a, b = ctx.encrypt(z1), ctx.encrypt(z2)
+        d0 = a.parts[0] * b.parts[0]
+        d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
+        d2 = a.parts[1] * b.parts[1]
+        from repro.fhe.ckks import Ciphertext
+
+        raw = Ciphertext([d0, d1, d2], a.scale * b.scale)
+        np.testing.assert_allclose(ctx.decrypt(raw), z1 * z2, atol=2e-3)
+
+    def test_relinearize_validation(self, ctx):
+        z = rand_slots(ctx, 24)
+        ct = ctx.encrypt(z)
+        from repro.fhe.ckks import Ciphertext
+
+        with pytest.raises(ValueError):
+            ctx.relinearize(Ciphertext(ct.parts * 2, ct.scale))
+
+
+class TestHRot:
+    @pytest.mark.parametrize("steps", [1, 2, 4, 64])
+    def test_rotation(self, rot_ctx, steps):
+        z = rand_slots(rot_ctx, 30 + steps)
+        out = rot_ctx.decrypt(rot_ctx.rotate(rot_ctx.encrypt(z), steps))
+        np.testing.assert_allclose(out, np.roll(z, -steps), atol=2e-3)
+
+    def test_rotation_by_zero(self, rot_ctx):
+        z = rand_slots(rot_ctx, 40)
+        out = rot_ctx.decrypt(rot_ctx.rotate(rot_ctx.encrypt(z), 0))
+        np.testing.assert_allclose(out, z, atol=1e-3)
+
+    def test_conjugate(self, rot_ctx):
+        z = rand_slots(rot_ctx, 41)
+        out = rot_ctx.decrypt(rot_ctx.conjugate(rot_ctx.encrypt(z)))
+        np.testing.assert_allclose(out, np.conj(z), atol=1e-3)
+
+    def test_composed_rotations(self, rot_ctx):
+        z = rand_slots(rot_ctx, 42)
+        ct = rot_ctx.rotate(rot_ctx.rotate(rot_ctx.encrypt(z), 1), 2)
+        np.testing.assert_allclose(rot_ctx.decrypt(ct), np.roll(z, -3),
+                                   atol=3e-3)
+
+    def test_missing_key_raises(self, rot_ctx):
+        z = rand_slots(rot_ctx, 43)
+        with pytest.raises(KeyError):
+            rot_ctx.rotate(rot_ctx.encrypt(z), 3)
+
+    def test_rotate_sum_pattern(self, rot_ctx):
+        """The classic log-depth all-slots sum (dot products, bootstrapping
+        linear phases) built from HRot + HAdd."""
+        slots = rot_ctx.params.slots
+        z = rand_slots(rot_ctx, 44, real=True)
+        ct = rot_ctx.encrypt(z)
+        for steps in [1, 2, 4]:
+            ct = rot_ctx.add(ct, rot_ctx.rotate(ct, steps))
+        expected = np.zeros(slots, dtype=complex)
+        for shift in range(8):
+            expected += np.roll(z, -shift)
+        np.testing.assert_allclose(rot_ctx.decrypt(ct), expected, atol=2e-2)
+
+
+class TestLevelsAndScales:
+    def test_mod_reduce_validation(self, ctx):
+        ct = ctx.encrypt(rand_slots(ctx, 50))
+        low = ctx.mod_reduce(ct, 0)
+        with pytest.raises(ValueError):
+            ctx.mod_reduce(low, 1)
+
+    def test_rescale_tracks_scale(self, ctx):
+        ct = ctx.encrypt(rand_slots(ctx, 51))
+        ct2 = ctx.multiply(ct, ct, rescale_after=False)
+        ct3 = ctx.rescale(ct2)
+        dropped = ctx.params.primes[ctx.params.top_level]
+        assert ct3.scale == pytest.approx(ct2.scale / dropped)
+
+    def test_exhausted_levels(self):
+        params = CkksParams(n=256, levels=2, scale_bits=24, prime_bits=28)
+        c = CkksContext(params, seed=3)
+        z = np.zeros(params.slots)
+        ct = c.multiply(c.encrypt(z), c.encrypt(z))
+        assert ct.level == 0
+        with pytest.raises(ValueError):
+            c.rescale(ct)
+
+
+class TestLargerRing:
+    def test_small_params_pipeline(self):
+        """N=1024 sanity pass: encrypt-multiply-rotate-decrypt."""
+        c = CkksContext(small_params(), seed=9)
+        c.generate_galois_keys([1])
+        rng = np.random.default_rng(1)
+        z1 = rng.uniform(-1, 1, c.params.slots)
+        z2 = rng.uniform(-1, 1, c.params.slots)
+        ct = c.multiply(c.encrypt(z1), c.encrypt(z2))
+        ct = c.rotate(ct, 1)
+        np.testing.assert_allclose(c.decrypt(ct), np.roll(z1 * z2, -1),
+                                   atol=3e-3)

@@ -1,0 +1,263 @@
+"""Tests for the FHE substrates: params, RNS basis, polynomials, samplers,
+and the canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.encoding import CkksEncoder
+from repro.fhe.params import CkksParams, toy_params
+from repro.fhe.polynomial import RnsPoly
+from repro.fhe.rns import RnsBasis, get_basis
+from repro.fhe.sampling import sample_gaussian, sample_ternary, sample_uniform_poly
+
+
+class TestParams:
+    def test_primes_are_ntt_friendly(self):
+        p = toy_params()
+        for q in p.primes + (p.special_prime,):
+            assert q % (2 * p.n) == 1
+
+    def test_primes_distinct(self):
+        p = toy_params()
+        assert len(set(p.primes + (p.special_prime,))) == p.levels + 1
+
+    def test_modulus_at_level(self):
+        p = toy_params()
+        assert p.modulus_at_level(0) == p.primes[0]
+        assert p.modulus_at_level(1) == p.primes[0] * p.primes[1]
+        with pytest.raises(ValueError):
+            p.modulus_at_level(p.levels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=100)
+        with pytest.raises(ValueError):
+            CkksParams(n=256, scale_bits=40, prime_bits=30)
+        with pytest.raises(ValueError):
+            CkksParams(n=256, prime_bits=40)
+        with pytest.raises(ValueError):
+            CkksParams(n=256, levels=0)
+
+    def test_slots(self):
+        assert toy_params().slots == 128
+
+
+class TestRnsBasis:
+    def setup_method(self):
+        p = toy_params()
+        self.basis = get_basis(p.primes, p.special_prime)
+
+    def test_idempotents(self):
+        """B_i === delta_ij (mod q_j): the keyswitch gadget property."""
+        b = self.basis
+        for i in range(b.levels):
+            for j in range(b.levels):
+                assert int(b.idempotent_mod_chain[i][j]) == (1 if i == j else 0)
+
+    def test_roundtrip(self):
+        b = self.basis
+        for value in [0, 1, 12345678901234567, b.big_q - 1]:
+            level = b.levels - 1
+            assert b.from_rns(b.to_rns(value % b.big_q, level), level) == value % b.big_q
+
+    def test_partial_level_roundtrip(self):
+        b = self.basis
+        q01 = b.primes[0] * b.primes[1]
+        value = q01 - 12345
+        assert b.from_rns(b.to_rns(value, 1), 1) == value
+
+    def test_centered(self):
+        b = self.basis
+        assert b.centered(b.to_rns(5, 0), 0) == 5
+        assert b.centered(b.to_rns(b.primes[0] - 3, 0), 0) == -3
+
+    def test_idempotent_prefix_property(self):
+        """sum_i [x]_{q_i} B_i === x mod any level prefix: the reason one
+        keyswitch key serves every level."""
+        b = self.basis
+        x = 987654321
+        for level in range(b.levels):
+            q_prod = 1
+            for q in b.primes[:level + 1]:
+                q_prod *= q
+            total = sum(
+                (x % b.primes[i]) * (b.big_q // b.primes[i])
+                * pow(b.big_q // b.primes[i], -1, b.primes[i])
+                for i in range(level + 1)
+            )
+            assert total % q_prod == x % q_prod
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RnsBasis((7, 7), 11)
+        with pytest.raises(ValueError):
+            RnsBasis((7, 11), 7)
+
+
+class TestRnsPoly:
+    def setup_method(self):
+        self.p = toy_params()
+        self.rng = np.random.default_rng(0)
+
+    def rand_poly(self, eval_domain=True):
+        return sample_uniform_poly(self.p.n, self.p.primes, self.rng) \
+            if eval_domain else \
+            sample_uniform_poly(self.p.n, self.p.primes, self.rng).to_coeff()
+
+    def test_add_sub_neg(self):
+        a, b = self.rand_poly(), self.rand_poly()
+        zero = (a + b) - b - a
+        assert not zero.residues.any()
+        zero2 = a + (-a)
+        assert not zero2.residues.any()
+
+    def test_mul_matches_schoolbook(self):
+        from repro.ntt.reference import naive_negacyclic_poly_mul
+
+        p = CkksParams(n=16, levels=2, scale_bits=20, prime_bits=28)
+        rng = np.random.default_rng(1)
+        a = sample_uniform_poly(p.n, p.primes, rng).to_coeff()
+        b = sample_uniform_poly(p.n, p.primes, rng).to_coeff()
+        prod = (a.to_eval() * b.to_eval()).to_coeff()
+        for i, q in enumerate(p.primes):
+            expected = naive_negacyclic_poly_mul(
+                [int(v) for v in a.residues[i]],
+                [int(v) for v in b.residues[i]], q)
+            assert [int(v) for v in prod.residues[i]] == expected
+
+    def test_domain_roundtrip(self):
+        a = self.rand_poly()
+        np.testing.assert_array_equal(a.to_coeff().to_eval().residues, a.residues)
+
+    def test_mul_requires_eval(self):
+        a = self.rand_poly(eval_domain=False)
+        with pytest.raises(ValueError):
+            a * a
+
+    def test_compatibility_checks(self):
+        a = self.rand_poly()
+        b = a.limbs_prefix(1)
+        with pytest.raises(ValueError):
+            a + b
+        with pytest.raises(ValueError):
+            a + a.to_coeff()
+
+    def test_automorphism_matches_coeff_domain(self):
+        from repro.automorphism import apply_galois_coeffs
+
+        a = self.rand_poly(eval_domain=False)
+        k = 5
+        via_eval = a.to_eval().automorphism(k).to_coeff()
+        for i, q in enumerate(self.p.primes):
+            expected = apply_galois_coeffs(a.residues[i], k, q)
+            np.testing.assert_array_equal(via_eval.residues[i], expected)
+
+    def test_centered_limb(self):
+        a = self.rand_poly(eval_domain=False)
+        lifted = a.centered_limb(0)
+        q = self.p.primes[0]
+        assert lifted.max() <= q // 2 and lifted.min() >= -(q // 2)
+        np.testing.assert_array_equal(lifted % q, a.residues[0].astype(np.int64))
+
+    def test_mul_scalar(self):
+        a = self.rand_poly()
+        doubled = a.mul_scalar(2)
+        np.testing.assert_array_equal((a + a).residues, doubled.residues)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RnsPoly(np.zeros((2, 8), dtype=np.uint64), (17,), True)
+
+
+class TestSampling:
+    def test_ternary_range(self):
+        s = sample_ternary(4096, np.random.default_rng(0))
+        assert set(np.unique(s)) <= {-1, 0, 1}
+
+    def test_ternary_hamming_weight(self):
+        s = sample_ternary(1024, np.random.default_rng(0), hamming_weight=64)
+        assert np.count_nonzero(s) == 64
+        with pytest.raises(ValueError):
+            sample_ternary(16, np.random.default_rng(0), hamming_weight=17)
+
+    def test_gaussian_moments(self):
+        e = sample_gaussian(1 << 16, 3.2, np.random.default_rng(0))
+        assert abs(e.mean()) < 0.1
+        assert abs(e.std() - 3.2) < 0.2
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            sample_gaussian(16, -1.0, np.random.default_rng(0))
+
+    def test_uniform_poly(self):
+        p = toy_params()
+        poly = sample_uniform_poly(p.n, p.primes, np.random.default_rng(0))
+        for i, q in enumerate(p.primes):
+            assert poly.residues[i].max() < q
+
+
+class TestEncoder:
+    def setup_method(self):
+        self.p = toy_params()
+        self.enc = CkksEncoder(self.p)
+
+    def test_embed_project_roundtrip(self):
+        rng = np.random.default_rng(0)
+        z = rng.uniform(-1, 1, self.p.slots) + 1j * rng.uniform(-1, 1, self.p.slots)
+        back = self.enc.project(self.enc.embed(z))
+        np.testing.assert_allclose(back, z, atol=1e-9)
+
+    def test_embedding_is_real(self):
+        z = np.exp(2j * np.pi * np.arange(self.p.slots) / self.p.slots)
+        coeffs = self.enc.embed(z)
+        assert coeffs.dtype == np.float64
+
+    def test_encode_decode(self):
+        rng = np.random.default_rng(1)
+        z = rng.uniform(-1, 1, self.p.slots) + 1j * rng.uniform(-1, 1, self.p.slots)
+        poly, scale = self.enc.encode(z)
+        back = self.enc.decode(poly, scale)
+        np.testing.assert_allclose(back, z, atol=1e-4)
+
+    def test_encode_is_additive(self):
+        rng = np.random.default_rng(2)
+        z1 = rng.uniform(-1, 1, self.p.slots)
+        z2 = rng.uniform(-1, 1, self.p.slots)
+        p1, s = self.enc.encode(z1)
+        p2, _ = self.enc.encode(z2)
+        back = self.enc.decode(p1 + p2, s)
+        np.testing.assert_allclose(back.real, z1 + z2, atol=1e-4)
+
+    def test_slot_ordering_enables_rotation(self):
+        """Applying X -> X^5 to the plaintext must rotate slots by one —
+        the property HRot is built on."""
+        rng = np.random.default_rng(3)
+        z = rng.uniform(-1, 1, self.p.slots) + 1j * rng.uniform(-1, 1, self.p.slots)
+        poly, scale = self.enc.encode(z)
+        rotated = poly.automorphism(5)
+        back = self.enc.decode(rotated, scale)
+        np.testing.assert_allclose(back, np.roll(z, -1), atol=1e-4)
+
+    def test_conjugation_galois_element(self):
+        rng = np.random.default_rng(4)
+        z = rng.uniform(-1, 1, self.p.slots) + 1j * rng.uniform(-1, 1, self.p.slots)
+        poly, scale = self.enc.encode(z)
+        conj = poly.automorphism(2 * self.p.n - 1)
+        np.testing.assert_allclose(self.enc.decode(conj, scale), np.conj(z),
+                                   atol=1e-4)
+
+    def test_wrong_sizes(self):
+        with pytest.raises(ValueError):
+            self.enc.embed(np.zeros(3))
+        with pytest.raises(ValueError):
+            self.enc.project(np.zeros(3))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        z = rng.uniform(-1, 1, self.p.slots) + 1j * rng.uniform(-1, 1, self.p.slots)
+        np.testing.assert_allclose(self.enc.project(self.enc.embed(z)), z,
+                                   atol=1e-9)

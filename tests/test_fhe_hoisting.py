@@ -1,0 +1,89 @@
+"""Tests for hoisted rotations (shared digit decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext
+from repro.fhe.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = CkksContext(toy_params(), seed=55)
+    context.generate_galois_keys([1, 2, 3, 4])
+    return context
+
+
+def rand(ctx, seed):
+    rng = np.random.default_rng(seed)
+    return (rng.uniform(-1, 1, ctx.params.slots)
+            + 1j * rng.uniform(-1, 1, ctx.params.slots))
+
+
+class TestHoistedRotations:
+    def test_matches_individual_rotations(self, ctx):
+        z = rand(ctx, 0)
+        ct = ctx.encrypt(z)
+        hoisted = ctx.rotate_hoisted(ct, [1, 2, 4])
+        for steps, h in zip([1, 2, 4], hoisted):
+            individual = ctx.decrypt(ctx.rotate(ct, steps))
+            np.testing.assert_allclose(ctx.decrypt(h), individual, atol=1e-3)
+            np.testing.assert_allclose(ctx.decrypt(h), np.roll(z, -steps),
+                                       atol=2e-3)
+
+    def test_zero_rotation_passthrough(self, ctx):
+        z = rand(ctx, 1)
+        ct = ctx.encrypt(z)
+        [out] = ctx.rotate_hoisted(ct, [0])
+        np.testing.assert_allclose(ctx.decrypt(out), z, atol=1e-3)
+
+    def test_missing_key_raises(self, ctx):
+        ct = ctx.encrypt(rand(ctx, 2))
+        with pytest.raises(KeyError):
+            ctx.rotate_hoisted(ct, [7])
+
+    def test_rotate_sum_via_hoisting(self, ctx):
+        """The BSGS inner loop shape: all baby rotations from one
+        decomposition, then summed."""
+        z = rand(ctx, 3)
+        ct = ctx.encrypt(z)
+        rotations = ctx.rotate_hoisted(ct, [0, 1, 2, 3])
+        acc = rotations[0]
+        for r in rotations[1:]:
+            acc = ctx.add(acc, r)
+        expected = z + np.roll(z, -1) + np.roll(z, -2) + np.roll(z, -3)
+        np.testing.assert_allclose(ctx.decrypt(acc), expected, atol=5e-3)
+
+    def test_kernel_savings(self, ctx):
+        """Hoisting must hit the NTT backend far fewer times than
+        individual rotations (the whole point)."""
+        from repro.fhe import backend as backend_mod
+
+        class CountingBackend(backend_mod.NumpyBackend):
+            def __init__(self):
+                self.ntt_calls = 0
+
+            def forward_ntt(self, coeffs, q):
+                self.ntt_calls += 1
+                return super().forward_ntt(coeffs, q)
+
+            def inverse_ntt(self, values, q):
+                self.ntt_calls += 1
+                return super().inverse_ntt(values, q)
+
+        z = rand(ctx, 4)
+        ct = ctx.encrypt(z)
+        steps = [1, 2, 3, 4]
+
+        counter = CountingBackend()
+        with backend_mod.use_backend(counter):
+            ctx.rotate_hoisted(ct, steps)
+        hoisted_calls = counter.ntt_calls
+
+        counter = CountingBackend()
+        with backend_mod.use_backend(counter):
+            for s in steps:
+                ctx.rotate(ct, s)
+        individual_calls = counter.ntt_calls
+
+        assert hoisted_calls < individual_calls / 1.5

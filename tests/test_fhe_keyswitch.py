@@ -1,0 +1,178 @@
+"""White-box tests of the digit-decomposition keyswitch machinery."""
+
+import numpy as np
+import pytest
+
+from repro.arith.modular import mod_inverse
+from repro.fhe.ckks import CkksContext
+from repro.fhe.keyswitch import (
+    apply_keyswitch,
+    decompose_digits,
+    generate_keyswitch_key,
+    mod_down,
+    mod_switch_exact,
+    rescale,
+)
+from repro.fhe.params import toy_params
+from repro.fhe.polynomial import RnsPoly
+from repro.fhe.rns import get_basis
+from repro.fhe.sampling import sample_uniform_poly
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(), seed=33)
+
+
+@pytest.fixture(scope="module")
+def basis():
+    p = toy_params()
+    return get_basis(p.primes, p.special_prime)
+
+
+def lift(poly):
+    coeff = poly.to_coeff()
+    q_prod = 1
+    for q in coeff.primes:
+        q_prod *= q
+    total = np.zeros(coeff.n, dtype=object)
+    for i, q in enumerate(coeff.primes):
+        q_hat = q_prod // q
+        total = (total + coeff.residues[i].astype(object)
+                 * (q_hat * mod_inverse(q_hat, q) % q_prod)) % q_prod
+    return total, q_prod
+
+
+class TestDigitDecomposition:
+    def test_digits_reconstruct_mod_chain(self, ctx):
+        """sum_i digit_i * B_i === x modulo every chain prime — the
+        gadget identity the keys rely on."""
+        p = ctx.params
+        rng = np.random.default_rng(0)
+        x = sample_uniform_poly(p.n, p.primes, rng)
+        digits = decompose_digits(x, p)
+        basis = ctx.basis
+        x_coeff = x.to_coeff()
+        for j, q in enumerate(p.primes):
+            acc = np.zeros(p.n, dtype=object)
+            for i, digit in enumerate(digits):
+                d_coeff = digit.to_coeff()
+                b_ij = int(basis.idempotent_mod_chain[i][j])
+                acc = (acc + d_coeff.residues[j].astype(object) * b_ij) % q
+            np.testing.assert_array_equal(
+                acc.astype(np.uint64), x_coeff.residues[j])
+
+    def test_digit_count_matches_level(self, ctx):
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes[:2], np.random.default_rng(1))
+        digits = decompose_digits(x, p)
+        assert len(digits) == 2  # one per limb at this level
+        # Every digit spans the level limbs plus the special prime.
+        assert all(d.primes == p.primes[:2] + (p.special_prime,)
+                   for d in digits)
+
+    def test_digits_are_small(self, ctx):
+        """Centered digits stay below q_i/2 — the noise-control property."""
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes, np.random.default_rng(2))
+        for i, digit in enumerate(decompose_digits(x, p)):
+            total, q_prod = lift(digit)
+            centered = np.where(total > q_prod // 2, total - q_prod, total)
+            assert int(np.abs(centered).max()) <= p.primes[i] // 2
+
+
+class TestKeyswitchCorrectness:
+    def test_switches_key_exactly(self, ctx):
+        """<ks(x), s_to> ~ x * s_from: the defining property, up to the
+        designed noise."""
+        p = ctx.params
+        rng = np.random.default_rng(3)
+        x = sample_uniform_poly(p.n, p.primes, rng)
+        # Switch from s^2 to s using the relinearization key.
+        t0, t1 = apply_keyswitch(x, ctx.relin_key, p)
+        r0 = mod_down(t0, ctx.basis)
+        r1 = mod_down(t1, ctx.basis)
+        s = ctx.secret
+        got = r0 + r1 * s
+        expected = x * (s * s)
+        diff, q_prod = lift(got - expected)
+        centered = np.where(diff > q_prod // 2, diff - q_prod, diff)
+        noise = int(np.abs(centered).max())
+        # Noise stays far below the modulus (budget preserved).
+        assert noise < q_prod // (2 ** 30)
+
+    def test_wrong_key_gives_garbage(self, ctx):
+        """Keyswitching with an unrelated key must not preserve the
+        relation — a failure-injection sanity check."""
+        p = ctx.params
+        rng = np.random.default_rng(4)
+        x = sample_uniform_poly(p.n, p.primes, rng)
+        bogus_secret = RnsPoly.from_int_coeffs(
+            np.ones(p.n, dtype=object), p.primes + (p.special_prime,))
+        bogus = generate_keyswitch_key(p, bogus_secret, bogus_secret,
+                                       np.random.default_rng(5))
+        t0, t1 = apply_keyswitch(x, bogus, p)
+        got = mod_down(t0, ctx.basis) + mod_down(t1, ctx.basis) * ctx.secret
+        expected = x * (ctx.secret * ctx.secret)
+        diff, q_prod = lift(got - expected)
+        centered = np.where(diff > q_prod // 2, diff - q_prod, diff)
+        assert int(np.abs(centered).max()) > q_prod // (2 ** 20)
+
+
+class TestDivisionHelpers:
+    def test_mod_down_requires_special_limb(self, ctx, basis):
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes, np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            mod_down(x, basis)
+
+    def test_rescale_divides(self, ctx, basis):
+        """rescale(x) ~ x / q_top (within rounding of 1/2 per coeff)."""
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes, np.random.default_rng(7))
+        y = rescale(x, basis)
+        x_int, q_prod = lift(x)
+        y_int, y_q = lift(y)
+        q_top = p.primes[-1]
+        x_c = np.where(x_int > q_prod // 2, x_int - q_prod, x_int)
+        y_c = np.where(y_int > y_q // 2, y_int - y_q, y_int)
+        # Exact integer check: |y * q_top - x| <= q_top / 2.
+        for xi, yi in zip(x_c, y_c):
+            assert abs(int(yi) * q_top - int(xi)) <= q_top // 2
+
+    def test_rescale_single_limb_rejected(self, ctx, basis):
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes[:1], np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            rescale(x, basis)
+
+    def test_mod_switch_exact_preserves_mod_t(self, ctx, basis):
+        """The BGV division: result === x * q_top^{-1} (mod t)."""
+        t = 65537
+        p = ctx.params
+        x = sample_uniform_poly(p.n, p.primes, np.random.default_rng(9))
+        y = mod_switch_exact(x, basis, t)
+        x_int, q_prod = lift(x)
+        y_int, y_q = lift(y)
+        q_top = p.primes[-1]
+        x_c = np.where(x_int > q_prod // 2, x_int - q_prod, x_int)
+        y_c = np.where(y_int > y_q // 2, y_int - y_q, y_int)
+        inv = mod_inverse(q_top, t)
+        for xi, yi in zip(x_c[:64], y_c[:64]):
+            assert int(yi) % t == int(xi) * inv % t
+
+
+class TestFailureInjection:
+    def test_corrupted_limb_breaks_decryption(self, ctx):
+        z = np.random.default_rng(10).uniform(-1, 1, ctx.params.slots)
+        ct = ctx.encrypt(z)
+        ct.parts[0].residues[0][7] ^= np.uint64(0xFFFF)
+        got = ctx.decrypt(ct)
+        assert np.abs(got - z).max() > 0.1  # visibly corrupted
+
+    def test_wrong_context_decrypts_garbage(self, ctx):
+        other = CkksContext(toy_params(), seed=777)
+        z = np.random.default_rng(11).uniform(-1, 1, ctx.params.slots)
+        ct = ctx.encrypt(z)
+        got = other.decrypt(ct)
+        assert np.abs(got - z).max() > 0.1

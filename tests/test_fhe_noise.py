@@ -1,0 +1,110 @@
+"""Tests for noise measurement and the budget estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fhe.ckks import CkksContext
+from repro.fhe.noise import (
+    NoiseEstimator,
+    estimate_fresh,
+    measure_noise,
+    noise_budget_bits,
+)
+from repro.fhe.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(toy_params(), seed=21)
+
+
+def rand(ctx, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1, 1, ctx.params.slots)
+
+
+class TestMeasurement:
+    def test_fresh_noise_is_small(self, ctx):
+        z = rand(ctx, 0)
+        bits = measure_noise(ctx, ctx.encrypt(z), z)
+        # Fresh noise ~ error_std * poly norms: far below the scale.
+        assert 0 < bits < ctx.params.scale_bits
+
+    def test_budget_positive_and_consumed(self, ctx):
+        z = rand(ctx, 1)
+        ct = ctx.encrypt(z)
+        fresh_budget = noise_budget_bits(ctx, ct, z)
+        assert fresh_budget > 20
+        ct2 = ctx.multiply(ct, ct)
+        after = noise_budget_bits(ctx, ct2, z * z)
+        assert after < fresh_budget  # multiplication consumed budget
+
+    def test_add_grows_at_most_one_bit(self, ctx):
+        z = rand(ctx, 2)
+        ct = ctx.encrypt(z)
+        n1 = measure_noise(ctx, ct, z)
+        n2 = measure_noise(ctx, ctx.add(ct, ct), 2 * z)
+        assert n2 <= n1 + 1.5
+
+    def test_rotation_adds_keyswitch_noise(self, ctx):
+        local = CkksContext(toy_params(), seed=5)
+        local.generate_galois_keys([1])
+        z = rand(local, 3)
+        ct = local.encrypt(z)
+        before = measure_noise(local, ct, z)
+        after = measure_noise(local, local.rotate(ct, 1), np.roll(z, -1))
+        assert after >= before - 1  # keyswitch never shrinks noise
+
+    def test_decryption_correct_while_budget_positive(self, ctx):
+        z = rand(ctx, 4)
+        ct = ctx.encrypt(z)
+        # Two multiplications on a 3-level toy chain.
+        ct = ctx.multiply(ct, ctx.encrypt(z))
+        ct = ctx.multiply(ct, ctx.encrypt(z))
+        assert noise_budget_bits(ctx, ct, z ** 3) > 0
+        np.testing.assert_allclose(ctx.decrypt(ct), z ** 3, atol=5e-2)
+
+
+class TestEstimator:
+    def test_fresh_bound_dominates_measurement(self, ctx):
+        z = rand(ctx, 5)
+        measured = measure_noise(ctx, ctx.encrypt(z), z)
+        assert estimate_fresh(ctx) >= measured - 1
+
+    def test_add_bound(self):
+        est = NoiseEstimator(1024)
+        assert est.add_bits(10, 12) == 13
+
+    def test_multiply_bound_tracks_scale(self):
+        est = NoiseEstimator(1024)
+        small = est.multiply_bits(10, 10, 20, 20)
+        large = est.multiply_bits(10, 10, 30, 30)
+        assert large > small
+
+    def test_rescale_bound_floors_at_rounding(self):
+        est = NoiseEstimator(4096)
+        floored = est.rescale_bits(5, 30)
+        assert floored >= math.log2(math.sqrt(4096))
+
+    def test_keyswitch_scales_with_digits(self):
+        est = NoiseEstimator(4096)
+        few = est.keyswitch_bits(2, 30, 30)
+        many = est.keyswitch_bits(8, 30, 30)
+        assert many > few
+
+    def test_multiply_estimate_dominates_measured(self, ctx):
+        z1, z2 = rand(ctx, 6), rand(ctx, 7)
+        ct1, ct2 = ctx.encrypt(z1), ctx.encrypt(z2)
+        n1 = measure_noise(ctx, ct1, z1)
+        n2 = measure_noise(ctx, ct2, z2)
+        product = ctx.multiply(ct1, ct2, rescale_after=False)
+        measured = measure_noise(ctx, product, z1 * z2)
+        est = NoiseEstimator(ctx.params.n, ctx.params.error_std)
+        scale_bits = math.log2(ctx.params.scale)
+        bound = est.multiply_bits(n1, n2, scale_bits, scale_bits)
+        # Allow keyswitch noise on top of the tensor bound.
+        ks = est.keyswitch_bits(ctx.params.levels, ctx.params.prime_bits,
+                                ctx.params.prime_bits)
+        assert measured <= max(bound, ks) + 6

@@ -1,0 +1,82 @@
+"""Tests for static program analysis."""
+
+import pytest
+
+from repro.core import Load, NetworkConfig, NetworkPass, Program, Store, VAdd, VMul
+from repro.mapping import compile_automorphism, compile_ntt, required_registers
+from repro.mapping.analysis import analyze_program, render_analysis
+from repro.automorphism import paper_sigma
+
+Q = 998244353
+
+
+class TestAnalyzeBasics:
+    def test_small_program(self):
+        prog = Program([
+            Load(0, 3),
+            VMul(1, 0, 0),
+            VAdd(2, 1, 0),
+            Store(2, 7),
+        ])
+        a = analyze_program(prog)
+        assert a.instruction_count == 4
+        assert a.by_type == {"Load": 1, "VMul": 1, "VAdd": 1, "Store": 1}
+        assert a.registers_used == frozenset({0, 1, 2})
+        assert a.register_pressure == 3
+        assert a.memory_rows_read == frozenset({3})
+        assert a.memory_rows_written == frozenset({7})
+        assert a.multiplier_ops == 1 and a.adder_ops == 1
+
+    def test_liveness_peak(self):
+        # r0 and r1 both live across the VAdd; r2 short-lived.
+        prog = Program([
+            Load(0, 0),
+            Load(1, 1),
+            VAdd(2, 0, 1),
+            VMul(3, 0, 1),
+            Store(2, 2),
+            Store(3, 3),
+        ])
+        a = analyze_program(prog)
+        assert a.peak_live_registers >= 2
+
+    def test_diagonal_window_counted(self):
+        prog = Program([
+            NetworkPass(1, 4, NetworkConfig(), src_rot=0, src_window=8),
+        ])
+        a = analyze_program(prog)
+        assert a.register_pressure == 12  # window [4, 12)
+
+    def test_empty_program(self):
+        a = analyze_program(Program())
+        assert a.instruction_count == 0
+        assert a.register_pressure == 0
+        assert a.memory_footprint_rows == 0
+
+
+class TestCompiledPrograms:
+    @pytest.mark.parametrize("m,n", [(8, 64), (16, 256), (8, 32)])
+    def test_ntt_fits_declared_register_budget(self, m, n):
+        """The compiler's required_registers() promise holds for every
+        compiled program, square or ragged."""
+        a = analyze_program(compile_ntt(n, m, Q))
+        assert a.register_pressure <= required_registers(m)
+
+    def test_ntt_memory_footprint(self):
+        m, n = 8, 512
+        a = analyze_program(compile_ntt(n, m, Q))
+        assert a.memory_footprint_rows == n // m
+
+    def test_automorphism_reads_and_writes_disjoint_regions(self):
+        n, m = 512, 8
+        a = analyze_program(compile_automorphism(paper_sigma(n, 3), m))
+        assert a.memory_rows_read == frozenset(range(n // m))
+        assert a.memory_rows_written == frozenset(range(n // m, 2 * n // m))
+        assert a.network_passes == n // m
+
+    def test_render(self):
+        text = render_analysis(analyze_program(compile_ntt(64, 8, Q)),
+                               label="ntt-64")
+        assert "ntt-64" in text
+        assert "register pressure" in text
+        assert "NttStage" in text

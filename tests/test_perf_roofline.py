@@ -1,0 +1,64 @@
+"""Tests for the roofline placement of FHE operations."""
+
+import pytest
+
+from repro.accel import Accelerator
+from repro.perf.roofline import (
+    machine_balance,
+    place_operation,
+    render_roofline,
+    roofline_table,
+)
+
+
+@pytest.fixture(scope="module")
+def acc():
+    return Accelerator(num_vpus=8, lanes=64)
+
+
+class TestRoofline:
+    def test_machine_balance_positive(self, acc):
+        assert machine_balance(acc) > 0
+
+    def test_intensity_ordering(self, acc):
+        """HAdd touches each element once (lowest intensity); HMult's
+        keyswitch reuses operands across digits (highest)."""
+        points = {p.operation: p for p in roofline_table(acc)}
+        assert (points["hadd"].arithmetic_intensity
+                < points["hrot"].arithmetic_intensity)
+        assert (points["hadd"].arithmetic_intensity
+                <= points["hmult"].arithmetic_intensity * 1.5)
+
+    def test_hadd_sits_at_the_knee(self, acc):
+        """Pure element-wise work (1 lane-op per 16 streamed bytes)
+        lands exactly at the default machine balance: any bandwidth loss
+        starves the lanes — the structural reason FHE accelerators
+        battle scratchpad bandwidth — while keyswitch-heavy ops reuse
+        operands and sit comfortably in the compute-bound region."""
+        hadd = place_operation(acc, "hadd", 4096, 5)
+        assert hadd.arithmetic_intensity == pytest.approx(
+            machine_balance(acc))
+        hmult = place_operation(acc, "hmult", 4096, 5)
+        assert hmult.arithmetic_intensity > 5 * hadd.arithmetic_intensity
+
+    def test_halved_bandwidth_starves_hadd(self):
+        from repro.accel import OnChipSram
+
+        starved = Accelerator(num_vpus=8, lanes=64,
+                              sram=OnChipSram(words_per_bank_per_cycle=32))
+        point = place_operation(starved, "hadd", 4096, 5)
+        assert not point.compute_bound
+
+    def test_unknown_operation(self, acc):
+        with pytest.raises(ValueError):
+            place_operation(acc, "bootstrap", 4096, 5)
+
+    def test_render(self, acc):
+        text = render_roofline(roofline_table(acc))
+        assert "machine balance" in text
+        assert "hmult" in text and ("memory" in text or "compute" in text)
+
+    def test_more_vpus_raise_balance(self):
+        small = machine_balance(Accelerator(num_vpus=2, lanes=64))
+        big = machine_balance(Accelerator(num_vpus=16, lanes=64))
+        assert big > small  # same SRAM, more lanes to feed

@@ -1,0 +1,92 @@
+"""Tests for the Stockham autosort NTT and technology-node scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel.components import CostReport
+from repro.hwmodel.nodescale import (
+    area_scale_factor,
+    power_scale_factor,
+    scale_to_node,
+)
+from repro.ntt import naive_ntt
+from repro.ntt.stockham import stockham_forward
+from repro.ntt.tables import get_tables
+
+Q = 998244353
+
+
+class TestStockham:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_matches_naive_in_natural_order(self, n):
+        """The autosort property: natural order in AND out, no
+        bit-reversal anywhere."""
+        t = get_tables(n, Q)
+        x = np.random.default_rng(n).integers(0, Q, n, dtype=np.uint64)
+        got = [int(v) for v in stockham_forward(x, t)]
+        assert got == naive_ntt([int(v) for v in x], t.omega, Q)
+
+    def test_differs_from_cg_organization(self):
+        """Stockham's output is natural; CG/DIF's is bit-reversed — the
+        design-space contrast that motivates the paper's CG choice."""
+        from repro.ntt import bit_reverse_permute, cg_dif_ntt
+
+        n = 16
+        t = get_tables(n, Q)
+        x = np.random.default_rng(1).integers(0, Q, n, dtype=np.uint64)
+        stockham = stockham_forward(x, t)
+        cg = np.array(cg_dif_ntt([int(v) for v in x], t), dtype=np.uint64)
+        assert not np.array_equal(stockham, cg)
+        np.testing.assert_array_equal(bit_reverse_permute(stockham),
+                                      cg)
+
+    def test_validation(self):
+        t = get_tables(16, Q)
+        with pytest.raises(ValueError):
+            stockham_forward(np.zeros(8, dtype=np.uint64), t)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=2**31))
+    def test_linearity_property(self, log_n, seed):
+        n = 1 << log_n
+        t = get_tables(n, Q)
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, Q, n, dtype=np.uint64)
+        b = rng.integers(0, Q, n, dtype=np.uint64)
+        fa = stockham_forward(a, t)
+        fb = stockham_forward(b, t)
+        fab = stockham_forward((a + b) % np.uint64(Q), t)
+        np.testing.assert_array_equal(fab, (fa + fb) % np.uint64(Q))
+
+
+class TestNodeScaling:
+    def test_14_to_7_shrinks(self):
+        assert area_scale_factor(14, 7) == pytest.approx(28.9 / 91.2)
+        assert power_scale_factor(14, 7) == pytest.approx(1 / 1.75)
+
+    def test_identity(self):
+        assert area_scale_factor(7, 7) == 1.0
+        assert power_scale_factor(7, 7) == 1.0
+
+    def test_scale_report(self):
+        """The paper's F1 methodology: 14 nm numbers normalized to 7 nm."""
+        f1_at_14nm = CostReport(100000.0, 100.0, "F1-ish unit")
+        ported = scale_to_node(f1_at_14nm, from_nm=14)
+        assert ported.area_um2 == pytest.approx(100000 * 28.9 / 91.2)
+        assert ported.power_mw == pytest.approx(100 / 1.75)
+        assert "14nm -> 7nm" in ported.label
+
+    def test_upscale_reverses(self):
+        c = CostReport(1000.0, 10.0)
+        roundtrip = scale_to_node(scale_to_node(c, 7, 14), 14, 7)
+        assert roundtrip.area_um2 == pytest.approx(1000.0)
+        assert roundtrip.power_mw == pytest.approx(10.0)
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            area_scale_factor(5, 7)
+        with pytest.raises(ValueError):
+            power_scale_factor(14, 3)

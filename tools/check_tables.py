@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Release gate: verify every reproduced paper number is in tolerance.
+
+Runs the same checks the regression tests pin, as one standalone script
+suitable for CI or a pre-release sanity pass.  Exits nonzero — with a
+diff-style report — if any table entry drifted.
+
+    python tools/check_tables.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+FAILURES: list[str] = []
+
+
+def check(label: str, got: float, want: float, rel_tol: float) -> None:
+    err = abs(got - want) / abs(want)
+    status = "ok " if err <= rel_tol else "FAIL"
+    print(f"[{status}] {label:55s} got {got:12.4f} want {want:12.4f} "
+          f"({100 * err:5.2f}% vs {100 * rel_tol:.0f}% tol)")
+    if err > rel_tol:
+        FAILURES.append(label)
+
+
+def check_table2() -> None:
+    from repro.baselines import (
+        ark_network_cost,
+        bts_network_cost,
+        f1_network_cost,
+        sharp_network_cost,
+    )
+    from repro.hwmodel import our_network_cost, vpu_cost
+
+    paper = {
+        "F1": (55616.42, 300306.61, 93.50, 842.12),
+        "BTS": (19405.16, 264095.35, 45.13, 793.75),
+        "ARK": (9480.50, 254170.69, 46.35, 794.97),
+        "SHARP": (44453.51, 289143.70, 44.04, 792.66),
+        "Ours": (5913.62, 250603.81, 15.59, 764.21),
+    }
+    fns = {"F1": f1_network_cost, "BTS": bts_network_cost,
+           "ARK": ark_network_cost, "SHARP": sharp_network_cost,
+           "Ours": our_network_cost}
+    for name, fn in fns.items():
+        net = fn(64)
+        vpu = vpu_cost(64, net)
+        na, va, np_, vp = paper[name]
+        check(f"Table II {name} network area", net.area_um2, na, 0.12)
+        check(f"Table II {name} network power", net.power_mw, np_, 0.12)
+        check(f"Table II {name} VPU area", vpu.area_um2, va, 0.05)
+        check(f"Table II {name} VPU power", vpu.power_mw, vp, 0.05)
+
+
+def check_table3() -> None:
+    from repro.perf import PAPER_TABLE_III, utilization_report
+
+    for n, (paper_ntt, paper_autom) in sorted(PAPER_TABLE_III.items()):
+        row = utilization_report(n)
+        label = f"Table III N=2^{n.bit_length() - 1} NTT utilization"
+        err = abs(row.ntt_utilization - paper_ntt)
+        status = "ok " if err <= 0.05 else "FAIL"
+        print(f"[{status}] {label:55s} got {row.ntt_utilization:12.4f} "
+              f"want {paper_ntt:12.4f} ({100 * err:5.2f}pp vs 5pp tol)")
+        if err > 0.05:
+            FAILURES.append(label)
+        if row.automorphism_utilization != paper_autom:
+            FAILURES.append(f"{label} (automorphism)")
+
+
+def check_table4() -> None:
+    from repro.hwmodel import our_network_cost
+
+    paper = {4: (208.99, 0.59), 8: (509.45, 1.38), 16: (1180.83, 3.13),
+             32: (2664.50, 7.02), 64: (5913.62, 15.59),
+             128: (12975.47, 34.28), 256: (28226.38, 75.02)}
+    for m, (area, power) in paper.items():
+        c = our_network_cost(m)
+        check(f"Table IV m={m} area", c.area_um2, area, 0.10)
+        check(f"Table IV m={m} power", c.power_mw, power, 0.10)
+
+
+def main() -> int:
+    check_table2()
+    check_table3()
+    check_table4()
+    if FAILURES:
+        print(f"\n{len(FAILURES)} table entries out of tolerance:")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("\nall reproduced table entries within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
