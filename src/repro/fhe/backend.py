@@ -10,6 +10,15 @@ through the active backend:
   whole CKKS workload can be run "on the hardware" and checked
   bit-for-bit against the numpy path.
 
+The unit of dispatch is the full ``(L, n)`` residue matrix of a
+double-CRT polynomial: the ``*_batch`` methods take every limb at once
+(the paper's batch shape — a keyswitch is "per digit, a batch of NTTs",
+§II-A), and the legacy single-row methods remain for golden-model and
+mapping tests.  On the numpy path a batch is one stacked vectorized
+transform; on the VPU path it is a replay of one cached compiled
+program per limb — programs are compiled once per ``(kernel, n, m, q)``
+and counted in ``program_compilations``.
+
 Swap with :func:`set_backend`, or temporarily with :func:`use_backend`.
 """
 
@@ -20,7 +29,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.automorphism.mapping import AffinePermutation, galois_eval_permutation
-from repro.ntt.negacyclic import NegacyclicNtt
+from repro.ntt.negacyclic import NegacyclicNtt, get_batched_ntt
 
 _NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
 
@@ -51,6 +60,37 @@ class NumpyBackend:
         perm = galois_eval_permutation(len(values), galois_k)
         return perm.apply(values)
 
+    # -- limb-batched kernels -------------------------------------------------
+
+    def forward_ntt_batch(self, residues: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        """Forward-NTT every limb of an ``(L, n)`` residue matrix in one
+        stacked dispatch (row ``i`` modulo ``primes[i]``)."""
+        residues = np.asarray(residues)
+        if all(q < (1 << 31) for q in primes):
+            return get_batched_ntt(residues.shape[1], primes).forward(residues)
+        return np.stack([self.forward_ntt(residues[i], q)
+                         for i, q in enumerate(primes)])
+
+    def inverse_ntt_batch(self, values: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        """Inverse-NTT every limb of an ``(L, n)`` value matrix at once."""
+        values = np.asarray(values)
+        if all(q < (1 << 31) for q in primes):
+            return get_batched_ntt(values.shape[1], primes).inverse(values)
+        return np.stack([self.inverse_ntt(values[i], q)
+                         for i, q in enumerate(primes)])
+
+    def automorphism_eval_batch(self, values: np.ndarray, galois_k: int,
+                                primes: tuple[int, ...]) -> np.ndarray:
+        """Galois action on every limb: the permutation is prime-independent,
+        so the whole matrix moves in one fancy-indexed assignment."""
+        values = np.asarray(values)
+        perm = galois_eval_permutation(values.shape[1], galois_k)
+        out = np.empty_like(values)
+        out[:, perm.destinations()] = values
+        return out
+
 
 class VpuBackend:
     """Kernels executed on the behavioral VPU model.
@@ -60,6 +100,11 @@ class VpuBackend:
     automorphisms work for any ``n`` divisible by ``m``.  The psi-folding
     scalings of the negacyclic wrap run as element-wise twiddle work,
     which the real VPU also does in its element-wise mode.
+
+    Compiled ISA programs are cached per ``(kernel, n, m, q)`` — limb
+    batches replay one program per limb instead of recompiling it, so
+    ``program_compilations`` grows with the number of *distinct* kernels
+    while ``kernel_invocations`` grows with the work actually executed.
     """
 
     name = "vpu"
@@ -74,6 +119,8 @@ class VpuBackend:
             memory_rows=8,
         )
         self.kernel_invocations = 0
+        self.program_compilations = 0
+        self._programs: dict[tuple, object] = {}
 
     def _prepare(self, n: int, q: int):
         from repro.core import VectorMemory
@@ -83,29 +130,56 @@ class VpuBackend:
         if self._vpu.memory.rows < needed:
             self._vpu.memory = VectorMemory(self.m, needed)
 
+    def _program(self, kind: str, n: int, q: int, galois_k: int | None = None):
+        """Fetch (or compile once) the program for one kernel shape.
+
+        Automorphism programs are pure permutations — independent of the
+        modulus — so their cache key drops ``q`` and one program serves
+        every limb of a batch.
+        """
+        key = (kind, n, self.m, None if kind == "auto" else q, galois_k)
+        prog = self._programs.get(key)
+        if prog is None:
+            from repro.mapping import compile_automorphism
+            from repro.mapping.ntt import (
+                compile_negacyclic_intt,
+                compile_negacyclic_ntt,
+            )
+
+            if kind == "ntt":
+                prog = compile_negacyclic_ntt(n, self.m, q)
+            elif kind == "intt":
+                prog = compile_negacyclic_intt(n, self.m, q)
+            elif kind == "auto":
+                perm = galois_eval_permutation(n, galois_k)
+                prog = compile_automorphism(perm, self.m)
+            else:  # pragma: no cover - internal misuse
+                raise ValueError(f"unknown kernel kind {kind!r}")
+            self.program_compilations += 1
+            self._programs[key] = prog
+        return prog
+
     def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
         from repro.mapping import pack_for_ntt, unpack_ntt_result
-        from repro.mapping.ntt import compile_negacyclic_ntt
 
         n = len(coeffs)
         self._prepare(n, q)
         self._vpu.memory.data[:n // self.m] = pack_for_ntt(
             np.asarray(coeffs, dtype=np.uint64), self.m)
         # psi-folding runs on the VPU too (element-wise twiddle mode).
-        self._vpu.execute(compile_negacyclic_ntt(n, self.m, q))
+        self._vpu.execute(self._program("ntt", n, q))
         self.kernel_invocations += 1
         # Natural-order negacyclic values, matching NegacyclicNtt.forward.
         return unpack_ntt_result(self._vpu.memory, n, self.m)
 
     def inverse_ntt(self, values: np.ndarray, q: int) -> np.ndarray:
         from repro.mapping import pack_ntt_values
-        from repro.mapping.ntt import compile_negacyclic_intt
 
         n = len(values)
         self._prepare(n, q)
         self._vpu.memory.data[:n // self.m] = pack_ntt_values(
             np.asarray(values, dtype=np.uint64), self.m)
-        self._vpu.execute(compile_negacyclic_intt(n, self.m, q))
+        self._vpu.execute(self._program("intt", n, q))
         self.kernel_invocations += 1
         rows = self._vpu.memory.data[:n // self.m]
         return rows.T.reshape(-1).copy()  # undo pack_for_ntt layout
@@ -115,19 +189,42 @@ class VpuBackend:
         from repro.mapping import (
             automorphism_layout_pack,
             automorphism_layout_unpack,
-            compile_automorphism,
         )
 
         n = len(values)
-        perm = galois_eval_permutation(n, galois_k)
         self._prepare(n, q)
         cols = n // self.m
         self._vpu.memory.data[:cols] = automorphism_layout_pack(
             np.asarray(values, dtype=np.uint64), self.m)
-        self._vpu.execute(compile_automorphism(perm, self.m))
+        self._vpu.execute(self._program("auto", n, q, galois_k))
         self.kernel_invocations += 1
         return automorphism_layout_unpack(self._vpu.memory, n, self.m,
                                           base_row=cols)
+
+    # -- limb-batched kernels -------------------------------------------------
+    #
+    # The VPU model is a single-polynomial engine, so a batch replays the
+    # cached program once per limb — the compile cost is paid once per
+    # (kernel, n, m, q) while the data movement stays per limb, exactly
+    # the replay schedule a real dispatch queue would issue.
+
+    def forward_ntt_batch(self, residues: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        residues = np.asarray(residues)
+        return np.stack([self.forward_ntt(residues[i], q)
+                         for i, q in enumerate(primes)])
+
+    def inverse_ntt_batch(self, values: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        values = np.asarray(values)
+        return np.stack([self.inverse_ntt(values[i], q)
+                         for i, q in enumerate(primes)])
+
+    def automorphism_eval_batch(self, values: np.ndarray, galois_k: int,
+                                primes: tuple[int, ...]) -> np.ndarray:
+        values = np.asarray(values)
+        return np.stack([self.automorphism_eval(values[i], galois_k, q)
+                         for i, q in enumerate(primes)])
 
 
 _ACTIVE: NumpyBackend | VpuBackend = NumpyBackend()

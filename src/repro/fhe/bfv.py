@@ -91,13 +91,11 @@ class BfvContext:
         cp = self._cp
         n = self.params.n
         secret = sample_ternary(n, self._rng)
-        self._secret_full = RnsPoly.from_int_coeffs(secret.astype(object),
-                                                    self._full)
+        self._secret_full = RnsPoly.from_int_coeffs(secret, self._full)
         self.secret = self._secret_full.limbs_prefix(cp.levels)
         a = sample_uniform_poly(n, cp.primes, self._rng)
         e = RnsPoly.from_int_coeffs(
-            sample_gaussian(n, cp.error_std, self._rng).astype(object),
-            cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng), cp.primes)
         self.public_key = ((-(a * self.secret)) + e, a)
         s_squared = self._secret_full * self._secret_full
         self.relin_key = generate_keyswitch_key(
@@ -112,14 +110,11 @@ class BfvContext:
         scaled = (m_coeffs.astype(object) * self.delta)
         m_poly = RnsPoly.from_int_coeffs(scaled, cp.primes)
         b, a = self.public_key
-        u = RnsPoly.from_int_coeffs(
-            sample_ternary(n, self._rng).astype(object), cp.primes)
+        u = RnsPoly.from_int_coeffs(sample_ternary(n, self._rng), cp.primes)
         e0 = RnsPoly.from_int_coeffs(
-            sample_gaussian(n, cp.error_std, self._rng).astype(object),
-            cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng), cp.primes)
         e1 = RnsPoly.from_int_coeffs(
-            sample_gaussian(n, cp.error_std, self._rng).astype(object),
-            cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng), cp.primes)
         return BfvCiphertext([b * u + e0 + m_poly, a * u + e1])
 
     def _lift(self, poly: RnsPoly) -> np.ndarray:
@@ -166,7 +161,7 @@ class BfvContext:
         # Plaintext multiplicand is NOT Delta-scaled (the ciphertext
         # already carries one Delta).
         m_poly = RnsPoly.from_int_coeffs(
-            self._encode_coeffs(values).astype(object), self._cp.primes)
+            self._encode_coeffs(values), self._cp.primes)
         return BfvCiphertext([p * m_poly for p in ct.parts])
 
     def multiply(self, a: BfvCiphertext, b: BfvCiphertext) -> BfvCiphertext:

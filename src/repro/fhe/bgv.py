@@ -135,8 +135,7 @@ class BgvContext:
         centered = np.where(coeffs.astype(np.int64) > self.t // 2,
                             coeffs.astype(np.int64) - self.t,
                             coeffs.astype(np.int64))
-        return RnsPoly.from_int_coeffs(centered.astype(object),
-                                       self._cp.primes)
+        return RnsPoly.from_int_coeffs(centered, self._cp.primes)
 
     def decode(self, plain_coeffs: np.ndarray) -> np.ndarray:
         """Centered integer coefficients -> integer slots (mod t)."""
@@ -150,13 +149,11 @@ class BgvContext:
         cp = self._cp
         n = self.params.n
         secret_coeffs = sample_ternary(n, self._rng)
-        self._secret_full = RnsPoly.from_int_coeffs(
-            secret_coeffs.astype(object), self._full)
+        self._secret_full = RnsPoly.from_int_coeffs(secret_coeffs, self._full)
         self.secret = self._secret_full.limbs_prefix(cp.levels)
         a = sample_uniform_poly(n, cp.primes, self._rng)
         e = RnsPoly.from_int_coeffs(
-            (sample_gaussian(n, cp.error_std, self._rng)
-             * self.t).astype(object), cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng) * self.t, cp.primes)
         self.public_key = ((-(a * self.secret)) + e, a)
         s_squared = self._secret_full * self._secret_full
         self.relin_key = generate_keyswitch_key(
@@ -180,14 +177,11 @@ class BgvContext:
         n = self.params.n
         m = self.encode(values)
         b, a = self.public_key
-        u = RnsPoly.from_int_coeffs(
-            sample_ternary(n, self._rng).astype(object), cp.primes)
+        u = RnsPoly.from_int_coeffs(sample_ternary(n, self._rng), cp.primes)
         e0 = RnsPoly.from_int_coeffs(
-            (sample_gaussian(n, cp.error_std, self._rng)
-             * self.t).astype(object), cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng) * self.t, cp.primes)
         e1 = RnsPoly.from_int_coeffs(
-            (sample_gaussian(n, cp.error_std, self._rng)
-             * self.t).astype(object), cp.primes)
+            sample_gaussian(n, cp.error_std, self._rng) * self.t, cp.primes)
         return BgvCiphertext([b * u + e0 + m, a * u + e1])
 
     def decrypt(self, ct: BgvCiphertext) -> np.ndarray:

@@ -70,14 +70,12 @@ class CkksContext:
         p = self.params
         secret_coeffs = sample_ternary(p.n, self._rng,
                                        hamming_weight=p.secret_hamming_weight)
-        self._secret_full = RnsPoly.from_int_coeffs(
-            secret_coeffs.astype(object), self._full)
+        self._secret_full = RnsPoly.from_int_coeffs(secret_coeffs, self._full)
         self.secret = self._secret_full.limbs_prefix(p.levels)
         # Public key (over the chain only; encryption happens at top level).
         a = sample_uniform_poly(p.n, p.primes, self._rng)
         e = RnsPoly.from_int_coeffs(
-            sample_gaussian(p.n, p.error_std, self._rng).astype(object),
-            p.primes)
+            sample_gaussian(p.n, p.error_std, self._rng), p.primes)
         self.public_key = ((-(a * self.secret)) + e, a)
         # Relinearization key: s^2 -> s.
         s_squared = self._secret_full * self._secret_full
@@ -109,13 +107,11 @@ class CkksContext:
         plaintext, scale = self.encode(values)
         b, a = self.public_key
         u = RnsPoly.from_int_coeffs(
-            sample_ternary(p.n, self._rng).astype(object), p.primes)
+            sample_ternary(p.n, self._rng), p.primes)
         e0 = RnsPoly.from_int_coeffs(
-            sample_gaussian(p.n, p.error_std, self._rng).astype(object),
-            p.primes)
+            sample_gaussian(p.n, p.error_std, self._rng), p.primes)
         e1 = RnsPoly.from_int_coeffs(
-            sample_gaussian(p.n, p.error_std, self._rng).astype(object),
-            p.primes)
+            sample_gaussian(p.n, p.error_std, self._rng), p.primes)
         c0 = b * u + e0 + plaintext
         c1 = a * u + e1
         return Ciphertext([c0, c1], scale)
@@ -309,7 +305,7 @@ class CkksContext:
         one decomposition instead of ``r``.  This is the standard
         hoisting optimization bootstrapping and BSGS matvecs lean on.
         """
-        from repro.fhe.keyswitch import decompose_digits
+        from repro.fhe.keyswitch import accumulate_keyswitch, decompose_digits
 
         if ct.size != 2:
             raise ValueError("rotate expects a relinearized ciphertext")
@@ -317,6 +313,7 @@ class CkksContext:
         digits = decompose_digits(ct.parts[1], p)
         level_count = ct.parts[0].num_limbs
         keep = list(range(level_count)) + [p.levels]
+        primes = ct.parts[0].primes + (p.special_prime,)
         results = []
         for steps in steps_list:
             k = pow(5, steps % p.slots, 2 * p.n)
@@ -325,20 +322,10 @@ class CkksContext:
                 continue
             if k not in self.galois_keys:
                 raise KeyError(f"no Galois key for rotation {steps}")
-            ksk = self.galois_keys[k]
             c0 = ct.parts[0].automorphism(k)
-            t0 = t1 = None
-            for i, digit in enumerate(digits):
-                rotated_digit = digit.automorphism(k)
-                b_i, a_i = ksk.pairs[i]
-                b_i = RnsPoly(b_i.residues[keep],
-                              tuple(b_i.primes[j] for j in keep), True)
-                a_i = RnsPoly(a_i.residues[keep],
-                              tuple(a_i.primes[j] for j in keep), True)
-                tb = rotated_digit * b_i
-                ta = rotated_digit * a_i
-                t0 = tb if t0 is None else t0 + tb
-                t1 = ta if t1 is None else t1 + ta
+            rotated = [digit.automorphism(k) for digit in digits]
+            t0, t1 = accumulate_keyswitch(rotated, self.galois_keys[k],
+                                          keep, primes)
             results.append(Ciphertext(
                 [c0 + mod_down(t0, self.basis), mod_down(t1, self.basis)],
                 ct.scale,

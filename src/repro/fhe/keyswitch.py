@@ -16,7 +16,10 @@ most ``q_i / 2`` in magnitude and ``P ~ q_i``.
 This is the computation pattern the paper's keyswitch workload refers
 to (§II-A): per digit, a batch of NTTs to re-express the digit in every
 limb, then element-wise multiply-accumulates — plus the ModDown by
-``P`` at the end.
+``P`` at the end.  The implementation dispatches it that way too: all
+``L * (L + 1)`` digit-row NTTs go to the backend as **one** batch, and
+the per-digit products accumulate in place over the full residue
+matrices with a single final reduction.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arith.modular import mod_inverse
+from repro.fhe.backend import get_backend
 from repro.fhe.params import CkksParams
 from repro.fhe.polynomial import RnsPoly
 from repro.fhe.rns import RnsBasis, get_basis
@@ -65,26 +69,23 @@ def generate_keyswitch_key(
     basis = get_basis(params.primes, params.special_prime)
     full = _full_primes(params)
     n = params.n
+    p = params.special_prime
     pairs = []
     for i in range(params.levels):
         a = sample_uniform_poly(n, full, rng)
         e = RnsPoly.from_int_coeffs(
-            (sample_gaussian(n, params.error_std, rng) * error_scale)
-            .astype(object), full)
-        # P * B_i reduced in every limb of the full basis.
-        pb_rows = np.empty(len(full), dtype=object)
-        p = params.special_prime
-        for j, q in enumerate(full):
-            b_mod = (int(basis.idempotent_mod_chain[i][j])
-                     if j < params.levels else int(basis.idempotent_mod_special[i]))
-            pb_rows[j] = (p % q) * b_mod % q
-        gadget = RnsPoly(
-            np.stack([
-                s_from_eval_full.residues[j] * np.uint64(pb_rows[j]) % np.uint64(q)
-                for j, q in enumerate(full)
-            ]),
-            full, is_eval=True,
-        )
+            sample_gaussian(n, params.error_std, rng) * error_scale, full)
+        # P * B_i reduced in every limb of the full basis, as a broadcast
+        # column over the secret's residue matrix.
+        pb_col = np.array([
+            (p % q) * (int(basis.idempotent_mod_chain[i][j])
+                       if j < params.levels
+                       else int(basis.idempotent_mod_special[i])) % q
+            for j, q in enumerate(full)
+        ], dtype=np.uint64)[:, None]
+        q_col = np.array(full, dtype=np.uint64)[:, None]
+        gadget = RnsPoly(s_from_eval_full.residues * pb_col % q_col,
+                         full, is_eval=True)
         b = (-(a * s_to_eval_full)) + e + gadget
         pairs.append((b, a))
     return KeySwitchKey(pairs)
@@ -94,18 +95,86 @@ def decompose_digits(x: RnsPoly, params: CkksParams) -> list[RnsPoly]:
     """Digit-decompose an eval-domain chain polynomial.
 
     Digit ``i`` is the centered lift of ``[x]_{q_i}`` re-expressed over
-    every chain limb of ``x``'s level plus the special prime, returned
-    in the evaluation domain (one inverse NTT + L+1 forward NTTs per
-    digit — the NTT batch the accelerator speeds up).
+    every chain limb of ``x``'s level plus the special prime, in the
+    evaluation domain.  All ``L`` centered lifts reduce against the
+    target basis in one ``(L, L+1, n)`` broadcast, and the resulting
+    ``L * (L+1)`` rows go to the backend as a **single** forward-NTT
+    batch — the NTT batch the accelerator speeds up, dispatched as one
+    unit instead of one call per residue row.
     """
     coeff = x.to_coeff()
     level_primes = x.primes
     target = level_primes + (params.special_prime,)
-    digits = []
-    for i in range(len(level_primes)):
-        lifted = coeff.centered_limb(i).astype(object)
-        digits.append(RnsPoly.from_int_coeffs(lifted, target))
-    return digits
+    lcount = len(level_primes)
+    tcount = len(target)
+    evals = np.empty((lcount, tcount, x.n), dtype=np.uint64)
+    # Digit i needs no transform in its own limb: the centered lift is
+    # congruent to the original residue row mod q_i, and forward(inverse)
+    # is an exact identity — so NTT(digit_i mod q_i) == x.residues[i]
+    # bit-for-bit.  Only the off-diagonal (i, j != i) rows hit the NTT.
+    for i in range(lcount):
+        evals[i, i] = x.residues[i]
+    off_diag = [(i, j) for i in range(lcount) for j in range(tcount)
+                if j != i]
+    if max(level_primes) // 2 < min(target):
+        # |centered| <= q_i/2 < every target prime (equal-width chains),
+        # so reduction mod t_j is res[i] + (t_j - q_i) when res[i] is in
+        # the upper half — pure uint64 with wraparound, no int64 `%`.
+        res = coeff.residues
+        half_col = np.array([q // 2 for q in level_primes],
+                            dtype=np.uint64)[:, None]
+        upper = res > half_col
+        src = [i for i, _ in off_diag]
+        offsets = np.array(
+            [(target[j] - level_primes[i]) % (1 << 64) for i, j in off_diag],
+            dtype=np.uint64)[:, None]
+        rows = res[src] + offsets * upper[src]
+    else:
+        q_col = np.array(level_primes, dtype=np.int64)[:, None]
+        res = coeff.residues.astype(np.int64)
+        centered = np.where(res > q_col // 2, res - q_col, res)
+        rows = np.stack([
+            (centered[i] % np.int64(target[j])).astype(np.uint64)
+            for i, j in off_diag
+        ])
+    batch = get_backend().forward_ntt_batch(
+        rows, tuple(target[j] for _, j in off_diag))
+    for r, (i, j) in enumerate(off_diag):
+        evals[i, j] = batch[r]
+    return [RnsPoly(evals[i], target, is_eval=True) for i in range(lcount)]
+
+
+def accumulate_keyswitch(
+    digits: list[RnsPoly], ksk: KeySwitchKey, keep: list[int],
+    primes: tuple[int, ...],
+) -> tuple[RnsPoly, RnsPoly]:
+    """Fused multiply-accumulate of digits against the key pairs.
+
+    Accumulates ``sum_i digit_i * b_i`` and ``sum_i digit_i * a_i`` in
+    place over the ``(L+1, n)`` residue matrices with lazy reduction:
+    when ``num_digits * max(q)**2`` fits uint64 (always true for the
+    repository's <=30-bit primes and practical digit counts) the raw
+    products accumulate unreduced and each sum takes exactly **one**
+    final ``%``.  ``keep`` selects the key limbs matching the digits'
+    basis (level prefix plus special prime).
+    """
+    q_col = np.array(primes, dtype=np.uint64)[:, None]
+    maxq = max(primes)
+    lazy = len(digits) * maxq * maxq < (1 << 64)
+    acc0 = np.zeros_like(digits[0].residues)
+    acc1 = np.zeros_like(digits[0].residues)
+    for i, digit in enumerate(digits):
+        b_i, a_i = ksk.pairs[i]
+        if lazy:
+            acc0 += digit.residues * b_i.residues[keep]
+            acc1 += digit.residues * a_i.residues[keep]
+        else:
+            acc0 += digit.residues * b_i.residues[keep] % q_col
+            acc1 += digit.residues * a_i.residues[keep] % q_col
+    acc0 %= q_col
+    acc1 %= q_col
+    return (RnsPoly(acc0, primes, is_eval=True),
+            RnsPoly(acc1, primes, is_eval=True))
 
 
 def apply_keyswitch(
@@ -117,20 +186,9 @@ def apply_keyswitch(
     follow with :func:`mod_down` to drop the special prime.
     """
     digits = decompose_digits(x, params)
-    level_count = x.num_limbs
-    keep = list(range(level_count)) + [params.levels]  # limbs of Q_l * P
-    t0 = t1 = None
-    for i, digit in enumerate(digits):
-        b_i, a_i = ksk.pairs[i]
-        b_i = RnsPoly(b_i.residues[keep],
-                      tuple(b_i.primes[j] for j in keep), True)
-        a_i = RnsPoly(a_i.residues[keep],
-                      tuple(a_i.primes[j] for j in keep), True)
-        tb = digit * b_i
-        ta = digit * a_i
-        t0 = tb if t0 is None else t0 + tb
-        t1 = ta if t1 is None else t1 + ta
-    return t0, t1
+    keep = list(range(x.num_limbs)) + [params.levels]  # limbs of Q_l * P
+    primes = x.primes + (params.special_prime,)
+    return accumulate_keyswitch(digits, ksk, keep, primes)
 
 
 def _divide_by_top_limb(poly: RnsPoly, inv_table: np.ndarray,
@@ -147,19 +205,36 @@ def _divide_by_top_limb(poly: RnsPoly, inv_table: np.ndarray,
     q_top = poly.primes[top]
     tail = coeff.centered_limb(top)
     if plaintext_modulus is None:
-        delta = tail.astype(object)
-    else:
+        delta = tail
+    elif plaintext_modulus < (1 << 31):
+        # int64 throughout: |tail| < q_top/2 < 2**30 and the correction
+        # magnitude is <= t/2 < 2**31, so delta stays below 2**61.
+        t = plaintext_modulus
+        correction = (-tail * mod_inverse(q_top, t)) % t
+        correction = np.where(correction > t // 2, correction - t, correction)
+        delta = tail + correction * q_top
+    else:  # oversized plaintext modulus: exact big-int fallback
         t = plaintext_modulus
         correction = (-tail.astype(object) * mod_inverse(q_top, t)) % t
         correction = np.where(correction > t // 2, correction - t, correction)
         delta = tail.astype(object) + correction * q_top
     chain = coeff.limbs_prefix(top)
-    out = np.empty_like(chain.residues)
-    for j, q in enumerate(chain.primes):
-        qq = np.uint64(q)
-        lifted = (delta % q).astype(np.uint64)
-        diff = (chain.residues[j] + (qq - lifted)) % qq
-        out[j] = diff * np.uint64(int(inv_table[j])) % qq
+    q_col = np.array(chain.primes, dtype=np.int64)[:, None]
+    if delta.dtype == object:
+        lifted = np.stack([(delta % q).astype(np.uint64)
+                           for q in chain.primes])
+    elif plaintext_modulus is None and q_top // 2 < min(chain.primes):
+        # CKKS rescale/moddown: |delta| <= q_top/2 below every chain
+        # prime, so reduction is a conditional add.
+        d = delta[None, :]
+        lifted = (d + q_col * (d < 0)).astype(np.uint64)
+    else:
+        lifted = (delta[None, :] % q_col).astype(np.uint64)
+    qq = q_col.astype(np.uint64)
+    inv_col = np.asarray(inv_table, dtype=np.uint64)[:, None]
+    s = chain.residues + (qq - lifted)  # < 2q: one conditional subtract
+    np.minimum(s, s - qq, out=s)
+    out = s * inv_col % qq
     return RnsPoly(out, chain.primes, is_eval=False).to_eval()
 
 

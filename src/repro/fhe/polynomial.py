@@ -2,10 +2,12 @@
 
 An :class:`RnsPoly` stores one residue row per modulus — the chain
 primes of its level, optionally followed by the keyswitch special prime
-— in either the coefficient or the evaluation (NTT) domain.  All ring
-operations are limb-wise and vectorized; NTTs and automorphisms route
-through the active :mod:`repro.fhe.backend`, which is how the whole FHE
-stack can run on the behavioral VPU.
+— in either the coefficient or the evaluation (NTT) domain.  The unit
+of work is the whole ``(L, n)`` residue matrix: ring operations
+broadcast an ``(L, 1)`` prime column across the limbs, and NTTs and
+automorphisms go through the active :mod:`repro.fhe.backend`'s batched
+kernels in a single dispatch — which is how the whole FHE stack can run
+on the behavioral VPU and how the numpy path reaches its throughput.
 """
 
 from __future__ import annotations
@@ -15,6 +17,32 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fhe.backend import get_backend
+
+
+def _reduce_int_rows(coeffs: np.ndarray,
+                     primes: tuple[int, ...]) -> np.ndarray | None:
+    """Reduce integer coefficients modulo every prime in one broadcast.
+
+    Returns the ``(L, n)`` uint64 matrix, or ``None`` when the input
+    does not fit the int64 fast path (oversized big-int coefficients).
+    Centered digits and sampled noise are always far below ``2**62``,
+    so in practice only genuinely wide inputs (BFV lifts, CRT
+    recompositions) fall back to the object-dtype path.
+    """
+    if any(q >= (1 << 31) for q in primes):
+        return None
+    if coeffs.dtype == object or not np.issubdtype(coeffs.dtype, np.integer):
+        try:
+            coeffs = coeffs.astype(np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+    elif coeffs.dtype == np.uint64 and len(coeffs) \
+            and coeffs.max() > np.iinfo(np.int64).max:
+        return None
+    else:
+        coeffs = coeffs.astype(np.int64)
+    q_col = np.array(primes, dtype=np.int64)[:, None]
+    return (coeffs[None, :] % q_col).astype(np.uint64)
 
 
 @dataclass
@@ -53,11 +81,20 @@ class RnsPoly:
     @classmethod
     def from_int_coeffs(cls, coeffs: np.ndarray, primes: tuple[int, ...],
                         to_eval: bool = True) -> "RnsPoly":
-        """Build from signed integer coefficients (reduced per limb)."""
-        coeffs = np.asarray(coeffs, dtype=object)
-        rows = np.stack([
-            (coeffs % q).astype(np.uint64) for q in primes
-        ])
+        """Build from signed integer coefficients (reduced per limb).
+
+        Inputs that fit int64 — every sampled secret/noise vector and
+        every centered keyswitch digit — reduce in one broadcast modulo
+        the ``(L, 1)`` prime column; only oversized big-int coefficients
+        take the object-dtype per-limb path.
+        """
+        coeffs = np.asarray(coeffs)
+        rows = _reduce_int_rows(coeffs, primes)
+        if rows is None:
+            wide = coeffs.astype(object)
+            rows = np.stack([
+                (wide % q).astype(np.uint64) for q in primes
+            ])
         poly = cls(rows, primes, is_eval=False)
         return poly.to_eval() if to_eval else poly
 
@@ -74,6 +111,11 @@ class RnsPoly:
     def copy(self) -> "RnsPoly":
         return RnsPoly(self.residues.copy(), self.primes, self.is_eval)
 
+    @property
+    def _q_col(self) -> np.ndarray:
+        """The ``(L, 1)`` broadcast column of moduli."""
+        return np.array(self.primes, dtype=np.uint64)[:, None]
+
     def _check_compatible(self, other: "RnsPoly") -> None:
         if self.primes != other.primes:
             raise ValueError(
@@ -83,27 +125,26 @@ class RnsPoly:
             raise ValueError("domain mismatch (coeff vs eval)")
 
     # -- ring operations -----------------------------------------------------
+    #
+    # All limb-wise ops run as one broadcast over the full residue
+    # matrix.  Residues stay below 2**30 (30-bit primes), so sums fit
+    # uint64 with room and products fit below 2**60 — no per-limb loop,
+    # no intermediate overflow.
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = (self.residues[i] + other.residues[i]) % np.uint64(q)
+        out = (self.residues + other.residues) % self._q_col
         return RnsPoly(out, self.primes, self.is_eval)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            qq = np.uint64(q)
-            out[i] = (self.residues[i] + (qq - other.residues[i])) % qq
+        q_col = self._q_col
+        out = (self.residues + (q_col - other.residues)) % q_col
         return RnsPoly(out, self.primes, self.is_eval)
 
     def __neg__(self) -> "RnsPoly":
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            qq = np.uint64(q)
-            out[i] = (qq - self.residues[i]) % qq
+        q_col = self._q_col
+        out = (q_col - self.residues) % q_col
         return RnsPoly(out, self.primes, self.is_eval)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
@@ -112,15 +153,13 @@ class RnsPoly:
         self._check_compatible(other)
         if not self.is_eval:
             raise ValueError("ring multiplication requires eval domain")
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = self.residues[i] * other.residues[i] % np.uint64(q)
+        out = self.residues * other.residues % self._q_col
         return RnsPoly(out, self.primes, self.is_eval)
 
     def mul_scalar(self, scalar: int) -> "RnsPoly":
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = self.residues[i] * np.uint64(scalar % q) % np.uint64(q)
+        s_col = np.array([scalar % q for q in self.primes],
+                         dtype=np.uint64)[:, None]
+        out = self.residues * s_col % self._q_col
         return RnsPoly(out, self.primes, self.is_eval)
 
     # -- domain conversion ----------------------------------------------------
@@ -128,19 +167,13 @@ class RnsPoly:
     def to_eval(self) -> "RnsPoly":
         if self.is_eval:
             return self.copy()
-        backend = get_backend()
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = backend.forward_ntt(self.residues[i], q)
+        out = get_backend().forward_ntt_batch(self.residues, self.primes)
         return RnsPoly(out, self.primes, is_eval=True)
 
     def to_coeff(self) -> "RnsPoly":
         if not self.is_eval:
             return self.copy()
-        backend = get_backend()
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = backend.inverse_ntt(self.residues[i], q)
+        out = get_backend().inverse_ntt_batch(self.residues, self.primes)
         return RnsPoly(out, self.primes, is_eval=False)
 
     # -- Galois action ---------------------------------------------------------
@@ -149,10 +182,8 @@ class RnsPoly:
         """Apply ``X -> X^k`` (evaluation domain: a pure permutation)."""
         if not self.is_eval:
             raise ValueError("automorphism is applied in the eval domain")
-        backend = get_backend()
-        out = np.empty_like(self.residues)
-        for i, q in enumerate(self.primes):
-            out[i] = backend.automorphism_eval(self.residues[i], galois_k, q)
+        out = get_backend().automorphism_eval_batch(
+            self.residues, galois_k, self.primes)
         return RnsPoly(out, self.primes, is_eval=True)
 
     # -- level / limb management ------------------------------------------------

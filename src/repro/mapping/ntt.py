@@ -265,13 +265,17 @@ def _emit_forward(prog: Program, n: int, m: int, rows: list[int],
     big_r = n // m
     bitrev = bit_reverse_indices(m)
     dim_root = pow(root, big_r, q)  # order-m root for this dimension
-    for idx, addr in enumerate(rows):
+    # Inter-dimension twiddles omega^(k1 * jr) with k1 = br(p) advance by
+    # a fixed per-lane factor between consecutive rows, so one modexp per
+    # lane seeds an incremental accumulation instead of m modexps per row.
+    lane_step = [pow(root, int(bitrev[p]), q) for p in range(m)]
+    lane_tw = [1] * m
+    for addr in rows:
         prog.append(Load(_R_WORK, addr))
         compile_small_ntt(m, dim_root, q, prog)
         if big_r > 1:
-            # Inter-dimension twiddle: omega^(k1 * jr), k1 = br(p).
-            tw = tuple(pow(root, int(bitrev[p]) * idx, q) for p in range(m))
-            prog.append(VMulTwiddle(_R_WORK, _R_WORK, tw))
+            prog.append(VMulTwiddle(_R_WORK, _R_WORK, tuple(lane_tw)))
+            lane_tw = [t * s % q for t, s in zip(lane_tw, lane_step)]
         prog.append(Store(_R_WORK, addr))
     if big_r == 1:
         return
@@ -397,10 +401,12 @@ def _emit_inverse(prog: Program, n: int, m: int, rows: list[int],
                           sub_root_inv, q)
         _emit_tile_transposes(prog, m, rows)
     dim_root_inv = pow(root_inv, big_r, q)
-    for idx, addr in enumerate(rows):
+    lane_step = [pow(root_inv, int(bitrev[p]), q) for p in range(m)]
+    lane_tw = [1] * m
+    for addr in rows:
         prog.append(Load(_R_WORK, addr))
         if big_r > 1:
-            tw = tuple(pow(root_inv, int(bitrev[p]) * idx, q) for p in range(m))
-            prog.append(VMulTwiddle(_R_WORK, _R_WORK, tw))
+            prog.append(VMulTwiddle(_R_WORK, _R_WORK, tuple(lane_tw)))
+            lane_tw = [t * s % q for t, s in zip(lane_tw, lane_step)]
         compile_small_intt(m, dim_root_inv, q, prog)
         prog.append(Store(_R_WORK, addr))

@@ -84,9 +84,7 @@ def vec_ntt_dif(x: np.ndarray, tables: NttTables) -> np.ndarray:
         raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
     a = (x % q).reshape(-1, n).copy()
     length = n // 2
-    while length >= 1:
-        step = n // (2 * length)
-        tw = tables.omega_powers[(np.arange(length) * step) % n]
+    for tw in tables.dif_stage_twiddles:
         blocks = a.reshape(a.shape[0], -1, 2 * length)
         u = blocks[:, :, :length]
         v = blocks[:, :, length:]
@@ -107,9 +105,7 @@ def vec_intt_dit(x: np.ndarray, tables: NttTables) -> np.ndarray:
         raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
     a = (x % q).reshape(-1, n).copy()
     length = 1
-    while length < n:
-        step = n // (2 * length)
-        tw = tables.omega_inv_powers[(np.arange(length) * step) % n]
+    for tw in tables.dit_stage_twiddles:
         blocks = a.reshape(a.shape[0], -1, 2 * length)
         u = blocks[:, :, :length].copy()
         v = blocks[:, :, length:] * tw % q
@@ -118,3 +114,200 @@ def vec_intt_dit(x: np.ndarray, tables: NttTables) -> np.ndarray:
         length *= 2
     a = a * np.uint64(tables.n_inv) % q
     return a.reshape(x.shape)
+
+
+# ---------------------------------------------------------------------------
+# Limb-batched paths: one dispatch over a stack of rows, each with its
+# own prime modulus (the shape keyswitch and ring conversions produce).
+#
+# The stage loops use lazy reduction: uint64 `%` by a broadcast divisor
+# is numpy's slowest elementwise op, so the add/sub halves of every
+# butterfly keep values below 2q (DIF) or 4q (DIT) with a masked
+# conditional subtract, and only the twiddle product takes a true `%`.
+# Safe for any q < 2**31: the worst intermediate is (4q - 1)(q - 1),
+# below 2**64.
+# ---------------------------------------------------------------------------
+
+
+def _stacked_stage_twiddles(tables_per_row: list[NttTables],
+                            kind: str) -> list[np.ndarray]:
+    """Per-stage ``(L, 1, length)`` twiddle stacks across the limb primes."""
+    attr = {"dif": "dif_stage_twiddles",
+            "dit": "dit_stage_twiddles",
+            "dif_shoup": "dif_stage_twiddles_shoup",
+            "dit_shoup": "dit_stage_twiddles_shoup"}[kind]
+    return [
+        np.stack([getattr(t, attr)[s] for t in tables_per_row])[:, None, :]
+        for s in range(tables_per_row[0].log_n)
+    ]
+
+
+_SHIFT32 = np.uint64(32)
+
+
+def dif_stages_lazy(a: np.ndarray, q3: np.ndarray, two_q3: np.ndarray,
+                    tw_stages: list[np.ndarray],
+                    shoup_stages: list[np.ndarray] | None = None) -> None:
+    """In-place Gentleman–Sande stages on an ``(L, n)`` stack.
+
+    Inputs must be ``< q`` per row; outputs are ``< 2q`` — callers finish
+    with one conditional subtract.  ``q3``/``two_q3`` are ``(L, 1, 1)``
+    broadcast columns.
+
+    With ``shoup_stages`` (requires every ``q < 2**30``) the twiddle
+    product uses Shoup multiplication — ``r = x*w - (x*w' >> 32)*q`` with
+    ``w' = floor(w * 2**32 / q)`` — which lands in ``[0, 2q)`` without a
+    single ``%``.  The ``< 2q`` lane invariant absorbs that laziness.
+    """
+    rows, n = a.shape
+    length = n // 2
+    for stage, tw in enumerate(tw_stages):
+        blocks = a.reshape(rows, -1, 2 * length)
+        u = blocks[:, :, :length]
+        v = blocks[:, :, length:]
+        total = u + v                      # < 4q
+        # Unsigned-wraparound conditional subtract: total - 2q wraps to a
+        # huge value exactly when total < 2q, so minimum() selects right.
+        np.minimum(total, total - two_q3, out=total)  # < 2q
+        diff = (u + two_q3) - v            # < 4q, positive
+        blocks[:, :, :length] = total
+        if length == 1:
+            # Last stage: the single twiddle is omega**0 == 1 for every
+            # prime — skip the product, clamp the raw difference.
+            np.minimum(diff, diff - two_q3, out=diff)       # < 2q
+            blocks[:, :, length:] = diff
+        elif shoup_stages is not None:
+            q_hat = (diff * shoup_stages[stage]) >> _SHIFT32
+            blocks[:, :, length:] = diff * tw - q_hat * q3  # < 2q
+        else:
+            blocks[:, :, length:] = diff * tw % q3          # < q
+        length //= 2
+
+
+def dit_stages_lazy(a: np.ndarray, q3: np.ndarray, two_q3: np.ndarray,
+                    tw_stages: list[np.ndarray],
+                    shoup_stages: list[np.ndarray] | None = None) -> None:
+    """In-place Cooley–Tukey DIT stages on an ``(L, n)`` stack.
+
+    Every lane stays ``< 2q`` across stages: unlike the DIF pass, a DIT
+    stage's input halves mix the previous stage's sum *and* difference
+    lanes, so the difference lane must be clamped back under ``2q`` too
+    or magnitudes grow linearly with the stage count.  Inputs must be
+    ``< 2q``; outputs are ``< 2q`` — callers fold the final reduction
+    into the ``n^{-1}`` scaling multiply.  With ``shoup_stages`` the
+    twiddle product runs mod-free (Shoup lands in ``[0, 2q)``, which the
+    invariant absorbs); requires every ``q < 2**30``.
+    """
+    rows, n = a.shape
+    length = 1
+    for stage, tw in enumerate(tw_stages):
+        blocks = a.reshape(rows, -1, 2 * length)
+        u = blocks[:, :, :length].copy()   # < 2q
+        vin = blocks[:, :, length:]        # < 2q < 2**32
+        if stage == 0:
+            v = vin                        # twiddle is omega**0 == 1
+        elif shoup_stages is not None:
+            q_hat = (vin * shoup_stages[stage]) >> _SHIFT32
+            v = vin * tw - q_hat * q3      # < 2q
+        else:
+            v = vin * tw % q3              # < q
+        total = u + v                      # < 4q
+        np.minimum(total, total - two_q3, out=total)  # < 2q
+        diff = (u + two_q3) - v            # < 4q, positive
+        np.minimum(diff, diff - two_q3, out=diff)     # < 2q
+        blocks[:, :, :length] = total
+        blocks[:, :, length:] = diff
+        length *= 2
+
+
+def dit_stages_unclamped(a: np.ndarray, q3: np.ndarray,
+                         tw_stages: list[np.ndarray]) -> None:
+    """In-place DIT stages with **no** per-stage clamping.
+
+    Valid when ``(log2(n) + 1) * max(q)**2 < 2**64``: the twiddled half
+    of every butterfly is freshly reduced (``< q``), so lane magnitudes
+    grow by at most ``q`` per stage — ``(log2(n) + 1) * q`` in total —
+    and every intermediate product stays inside uint64.  That halves the
+    ufunc dispatches of the clamped pass, which dominates for short limb
+    stacks.  Entry values must be ``< q``; callers finish with one true
+    ``%`` (usually fused into the ``n^{-1}`` scaling).
+    """
+    rows, n = a.shape
+    length = 1
+    for stage, tw in enumerate(tw_stages):
+        blocks = a.reshape(rows, -1, 2 * length)
+        u = blocks[:, :, :length].copy()
+        vin = blocks[:, :, length:]
+        # Stage 0's single twiddle is omega**0 == 1; reuse the view (the
+        # u-half store never aliases it, and both RHS below are temps).
+        v = vin if stage == 0 else vin * tw % q3   # < q
+        blocks[:, :, :length] = u + v              # < M + q
+        blocks[:, :, length:] = (u + q3) - v       # positive, < M + q
+        length *= 2
+
+
+def _check_multi(x: np.ndarray, tables_per_row: list[NttTables]) -> None:
+    if x.ndim != 2 or len(tables_per_row) != x.shape[0]:
+        raise ValueError(
+            f"expected ({len(tables_per_row)}, n) residue stack, got {x.shape}")
+    n = tables_per_row[0].n
+    if x.shape[1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[1]}")
+    for t in tables_per_row:
+        _check_vec(t)
+
+
+def vec_ntt_dif_multi(x: np.ndarray, tables_per_row: list[NttTables]) -> np.ndarray:
+    """Forward DIF NTT over an ``(L, n)`` stack, row ``i`` modulo
+    ``tables_per_row[i].q``.
+
+    One vectorized butterfly pass per stage covers every limb at once:
+    the per-prime stage twiddles are stacked into an ``(L, 1, length)``
+    block and the moduli broadcast as an ``(L, 1, 1)`` column, so the
+    whole residue matrix moves through each stage in a single numpy
+    dispatch instead of ``L`` separate transform calls.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    _check_multi(x, tables_per_row)
+    q_col = np.array([t.q for t in tables_per_row], dtype=np.uint64)[:, None]
+    q3 = q_col[:, :, None]
+    a = (x % q_col).copy() if x.base is None else x % q_col
+    shoup = (_stacked_stage_twiddles(tables_per_row, "dif_shoup")
+             if all(t.q < (1 << 30) for t in tables_per_row) else None)
+    dif_stages_lazy(a, q3, 2 * q3,
+                    _stacked_stage_twiddles(tables_per_row, "dif"), shoup)
+    np.minimum(a, a - q_col, out=a)
+    return a
+
+
+def vec_intt_dit_multi(x: np.ndarray, tables_per_row: list[NttTables],
+                       scale_col: np.ndarray | None = None) -> np.ndarray:
+    """Inverse DIT NTT over an ``(L, n)`` stack with per-row moduli
+    (bit-reversed in, natural out).
+
+    ``scale_col`` replaces the default per-row ``n^{-1}`` factor with an
+    arbitrary fully-reduced multiplier (column or full ``(L, n)`` table)
+    — the negacyclic wrapper uses it to fuse ``psi^{-j} * n^{-1}`` into
+    the single final reduction.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    _check_multi(x, tables_per_row)
+    q_col = np.array([t.q for t in tables_per_row], dtype=np.uint64)[:, None]
+    q3 = q_col[:, :, None]
+    a = x % q_col
+    maxq = max(t.q for t in tables_per_row)
+    log_n = tables_per_row[0].log_n
+    if (log_n + 1) * maxq * maxq < (1 << 64):
+        dit_stages_unclamped(a, q3,
+                             _stacked_stage_twiddles(tables_per_row, "dit"))
+    else:
+        shoup = (_stacked_stage_twiddles(tables_per_row, "dit_shoup")
+                 if all(t.q < (1 << 30) for t in tables_per_row) else None)
+        dit_stages_lazy(a, q3, 2 * q3,
+                        _stacked_stage_twiddles(tables_per_row, "dit"), shoup)
+    if scale_col is None:
+        scale_col = np.array([t.n_inv for t in tables_per_row],
+                             dtype=np.uint64)[:, None]
+    # Final fused reduction: lanes are < 2q (clamped) or < (log2(n)+1)*q
+    # (unclamped, gated above), so the product fits uint64 either way.
+    return a * scale_col % q_col

@@ -18,7 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ntt.cooley_tukey import intt_dit, ntt_dif, vec_intt_dit, vec_ntt_dif
+from functools import lru_cache
+
+from repro.ntt.cooley_tukey import (
+    _stacked_stage_twiddles,
+    dif_stages_lazy,
+    dit_stages_lazy,
+    dit_stages_unclamped,
+    intt_dit,
+    ntt_dif,
+    vec_intt_dit,
+    vec_ntt_dif,
+)
 from repro.ntt.tables import NttTables, get_tables
 
 
@@ -78,6 +89,109 @@ class NegacyclicNtt:
         out = np.empty_like(x)
         out[self.tables.bitrev] = x
         return out
+
+
+class BatchedNegacyclicNtt:
+    """Negacyclic NTT over a full ``(L, n)`` residue matrix in one
+    dispatch — row ``i`` transformed modulo ``primes[i]``.
+
+    This is the software shape of the paper's limb-level batching: a
+    double-CRT polynomial is one unit of work, not ``L`` separate rows.
+    The psi/psi-inverse foldings and the per-stage twiddles are stacked
+    across primes once at construction, so every stage of every limb
+    runs as a single vectorized butterfly pass.  Requires every prime
+    below ``2**31`` (the repository's uint64 fast-path regime).
+    """
+
+    def __init__(self, n: int, primes: tuple[int, ...]):
+        self.n = n
+        self.primes = primes
+        self.tables = [get_tables(n, q) for q in primes]
+        for t in self.tables:
+            if t.q >= (1 << 31):
+                raise ValueError("batched NTT requires every prime < 2**31")
+        self._q_col = np.array(primes, dtype=np.uint64)[:, None]
+        self._q3 = self._q_col[:, :, None]
+        self._two_q3 = 2 * self._q3
+        self._psi = np.stack([t.psi_powers for t in self.tables])
+        # Fused psi^{-j} * n^{-1} unfold table: the inverse transform's
+        # lazy stage outputs (< 4q) hit exactly one final reduction.
+        self._psi_inv_ninv = np.stack([
+            t.psi_inv_powers * np.uint64(t.n_inv) % np.uint64(t.q)
+            for t in self.tables
+        ])
+        self._dif_tw = _stacked_stage_twiddles(self.tables, "dif")
+        self._dit_tw = _stacked_stage_twiddles(self.tables, "dit")
+        # Shoup companions make the forward butterfly and the psi folding
+        # mod-free (q < 2**30, which every repository parameter set
+        # satisfies).
+        if all(q < (1 << 30) for q in primes):
+            self._dif_shoup = _stacked_stage_twiddles(self.tables, "dif_shoup")
+            self._dit_shoup = _stacked_stage_twiddles(self.tables, "dit_shoup")
+            self._psi_shoup = np.stack([
+                ((t.psi_powers.astype(object) << 32) // t.q).astype(np.uint64)
+                for t in self.tables
+            ])
+            self._unfold_shoup = (
+                (self._psi_inv_ninv.astype(object) << 32)
+                // self._q_col.astype(object)).astype(np.uint64)
+        else:
+            self._dif_shoup = None
+            self._dit_shoup = None
+            self._psi_shoup = None
+            self._unfold_shoup = None
+        # Clamp-free inverse stages: lane growth is only +q per stage
+        # (the twiddled half is always freshly reduced), so for moduli
+        # with (log2(n)+1)*q**2 < 2**64 no per-stage reduction is needed.
+        log_n = self.tables[0].log_n
+        self._dit_unclamped = (log_n + 1) * max(primes) ** 2 < (1 << 64)
+        self._bitrev = self.tables[0].bitrev
+
+    def forward(self, residues: np.ndarray) -> np.ndarray:
+        """``(L, n)`` coefficients -> natural-order evaluation values."""
+        x = np.asarray(residues, dtype=np.uint64)
+        if not (x < self._q_col).all():
+            x = x % self._q_col
+        if self._psi_shoup is not None:
+            # Shoup psi fold: x < q < 2**30, so x*psi' < 2**64 and the
+            # result lands in [0, 2q) — inside the lazy stage invariant.
+            q_hat = (x * self._psi_shoup) >> np.uint64(32)
+            x = x * self._psi - q_hat * self._q_col
+        else:
+            x = x * self._psi % self._q_col
+        dif_stages_lazy(x, self._q3, self._two_q3, self._dif_tw,
+                        self._dif_shoup)
+        np.minimum(x, x - self._q_col, out=x)
+        # Bit reversal is an involution, so undoing the DIF output order
+        # is a gather with the same index table (faster than a scatter).
+        return x[:, self._bitrev]
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """``(L, n)`` natural-order evaluation values -> coefficients."""
+        x = np.asarray(values, dtype=np.uint64)
+        reduced = bool((x < self._q_col).all())
+        x = x[:, self._bitrev]
+        if not reduced:
+            x %= self._q_col
+        if self._dit_unclamped:
+            dit_stages_unclamped(x, self._q3, self._dit_tw)
+            # Lanes are < (log2(n)+1)*q, inside the gate's product bound.
+            return x * self._psi_inv_ninv % self._q_col
+        dit_stages_lazy(x, self._q3, self._two_q3, self._dit_tw,
+                        self._dit_shoup)
+        if self._unfold_shoup is not None:
+            # x < 2q < 2**31: Shoup unfold to [0, 2q), one subtract to < q.
+            q_hat = (x * self._unfold_shoup) >> np.uint64(32)
+            out = x * self._psi_inv_ninv - q_hat * self._q_col
+            np.minimum(out, out - self._q_col, out=out)
+            return out
+        return x * self._psi_inv_ninv % self._q_col
+
+
+@lru_cache(maxsize=128)
+def get_batched_ntt(n: int, primes: tuple[int, ...]) -> BatchedNegacyclicNtt:
+    """Cached :class:`BatchedNegacyclicNtt` per ``(n, primes)`` stack."""
+    return BatchedNegacyclicNtt(n, primes)
 
 
 def negacyclic_poly_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

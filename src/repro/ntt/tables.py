@@ -64,6 +64,10 @@ class NttTables:
         self.psi_powers = self._power_table(self.psi, n, dtype)
         self.psi_inv_powers = self._power_table(self.psi_inv, n, dtype)
         self.bitrev = bit_reverse_indices(n)
+        self._dif_stage_twiddles: list[np.ndarray] | None = None
+        self._dit_stage_twiddles: list[np.ndarray] | None = None
+        self._dif_stage_twiddles_shoup: list[np.ndarray] | None = None
+        self._dit_stage_twiddles_shoup: list[np.ndarray] | None = None
 
     def _power_table(self, base: int, count: int, dtype) -> np.ndarray:
         powers = np.empty(count, dtype=dtype)
@@ -72,6 +76,62 @@ class NttTables:
             powers[i] = value if dtype is object else np.uint64(value)
             value = value * base % self.q
         return powers
+
+    def _stage_twiddles(self, powers: np.ndarray,
+                        lengths: list[int]) -> list[np.ndarray]:
+        out = []
+        for length in lengths:
+            step = self.n // (2 * length)
+            out.append(powers[(np.arange(length) * step) % self.n])
+        return out
+
+    @property
+    def dif_stage_twiddles(self) -> list[np.ndarray]:
+        """Per-stage twiddle vectors for the DIF pass, hoisted once.
+
+        Stage ``s`` (half-lengths ``n/2, n/4, .., 1``) multiplies the
+        lower butterfly outputs by ``omega**(j * step)`` for ``j`` in
+        ``[0, length)``; the gather used to be rebuilt on every
+        :func:`~repro.ntt.cooley_tukey.vec_ntt_dif` call.
+        """
+        if self._dif_stage_twiddles is None:
+            lengths = [self.n >> (s + 1) for s in range(self.log_n)]
+            self._dif_stage_twiddles = self._stage_twiddles(
+                self.omega_powers, lengths)
+        return self._dif_stage_twiddles
+
+    @property
+    def dit_stage_twiddles(self) -> list[np.ndarray]:
+        """Per-stage inverse twiddles for the DIT pass (lengths
+        ``1, 2, .., n/2``), hoisted once per table."""
+        if self._dit_stage_twiddles is None:
+            lengths = [1 << s for s in range(self.log_n)]
+            self._dit_stage_twiddles = self._stage_twiddles(
+                self.omega_inv_powers, lengths)
+        return self._dit_stage_twiddles
+
+    def _shoup(self, twiddles: list[np.ndarray]) -> list[np.ndarray]:
+        if self.q >= (1 << 30):
+            raise ValueError("Shoup twiddles require q < 2**30")
+        return [((tw.astype(object) << 32) // self.q).astype(np.uint64)
+                for tw in twiddles]
+
+    @property
+    def dif_stage_twiddles_shoup(self) -> list[np.ndarray]:
+        """Shoup companions ``floor(w * 2**32 / q)`` of the DIF stage
+        twiddles, for the mod-free butterfly product (``q < 2**30``)."""
+        if self._dif_stage_twiddles_shoup is None:
+            self._dif_stage_twiddles_shoup = self._shoup(
+                self.dif_stage_twiddles)
+        return self._dif_stage_twiddles_shoup
+
+    @property
+    def dit_stage_twiddles_shoup(self) -> list[np.ndarray]:
+        """Shoup companions of the DIT stage twiddles (``q < 2**30``)."""
+        if self._dit_stage_twiddles_shoup is None:
+            self._dit_stage_twiddles_shoup = self._shoup(
+                self.dit_stage_twiddles)
+        return self._dit_stage_twiddles_shoup
 
     def omega_power(self, exponent: int) -> int:
         """Return ``omega ** exponent mod q`` (any integer exponent)."""

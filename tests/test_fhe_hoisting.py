@@ -63,13 +63,13 @@ class TestHoistedRotations:
             def __init__(self):
                 self.ntt_calls = 0
 
-            def forward_ntt(self, coeffs, q):
-                self.ntt_calls += 1
-                return super().forward_ntt(coeffs, q)
+            def forward_ntt_batch(self, residues, primes):
+                self.ntt_calls += len(primes)
+                return super().forward_ntt_batch(residues, primes)
 
-            def inverse_ntt(self, values, q):
-                self.ntt_calls += 1
-                return super().inverse_ntt(values, q)
+            def inverse_ntt_batch(self, values, primes):
+                self.ntt_calls += len(primes)
+                return super().inverse_ntt_batch(values, primes)
 
         z = rand(ctx, 4)
         ct = ctx.encrypt(z)
