@@ -1,0 +1,88 @@
+"""``fhecheck`` — static bound/overflow verification for the repository.
+
+The lazy-reduction kernels (:mod:`repro.ntt.cooley_tukey`) and the fused
+keyswitch accumulation (:mod:`repro.fhe.keyswitch`) earn their speed by
+*postponing* modular reduction: intermediate lane values deliberately
+exceed the modulus, and correctness rests on hand-derived inequalities
+("``(log2(n)+1)*q**2 < 2**64``") that silently break when someone widens
+a prime, adds a stage, or batches deeper.  This package machine-checks
+those invariants instead of trusting comments:
+
+* :mod:`repro.analysis.intervals` — the unsigned interval domain shared
+  by every check (exact Python-int bounds, uint64 overflow detection,
+  wraparound conditional-subtract semantics).
+* :mod:`repro.analysis.program_check` — abstract interpretation of
+  compiled VPU micro-programs (:class:`repro.core.isa.Program`),
+  propagating per-lane value intervals through every instruction.
+* :mod:`repro.analysis.stage_plans` — symbolic per-stage analysis of the
+  numpy lazy-reduction kernels, mirroring them line by line.
+* :mod:`repro.analysis.bounds` — the production gate API: the single
+  source of truth the NTT/keyswitch fast paths query instead of
+  hand-coded inequalities.
+* :mod:`repro.analysis.lint` — repository-specific AST lint rules
+  (object-dtype leakage, unchecked ``astype`` narrowing, unreduced
+  products under ``%``, lazy values escaping without a clamp).
+
+Run everything with ``python -m repro.analysis`` (see
+:mod:`repro.analysis.cli`); findings are machine-readable with
+``--json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import (
+    keyswitch_lazy_accumulate_ok,
+    mul_fits_uint64,
+    unclamped_dit_lane_bound,
+    unclamped_dit_ok,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.intervals import U64_MAX, Interval, IntervalVec
+from repro.analysis.stage_plans import (
+    PlanReport,
+    analyze_batched_forward,
+    analyze_batched_inverse,
+    analyze_dif_lazy,
+    analyze_dit_lazy,
+    analyze_dit_unclamped,
+    analyze_keyswitch_accumulate,
+)
+
+__all__ = [
+    "U64_MAX",
+    "Finding",
+    "Interval",
+    "IntervalVec",
+    "PlanReport",
+    "ProgramCheckReport",
+    "Severity",
+    "analyze_batched_forward",
+    "analyze_batched_inverse",
+    "analyze_dif_lazy",
+    "analyze_dit_lazy",
+    "analyze_dit_unclamped",
+    "analyze_keyswitch_accumulate",
+    "check_program",
+    "keyswitch_lazy_accumulate_ok",
+    "mul_fits_uint64",
+    "unclamped_dit_lane_bound",
+    "unclamped_dit_ok",
+]
+
+_LAZY = {"ProgramCheckReport", "ProgramVerificationError", "check_program"}
+
+
+def __getattr__(name: str) -> object:
+    """Load the micro-program checker on first use (PEP 562).
+
+    ``program_check`` imports :mod:`repro.core.isa`, whose own import
+    chain reaches back here through the NTT kernels' bounds gates
+    (``core.stages -> repro.ntt -> cooley_tukey -> analysis.bounds``) —
+    an eager import would be circular.  The interval/plan/gate API stays
+    eager; only the ISA-coupled checker is deferred.
+    """
+    if name in _LAZY:
+        from repro.analysis import program_check
+
+        return getattr(program_check, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,78 @@
+"""Analyzer-derived gates for the production fast paths.
+
+These functions are the **single source of truth** for the lazy-reduction
+eligibility decisions that used to live as hand-coded inequalities next
+to the kernels:
+
+* ``(log2(n) + 1) * q**2 < 2**64`` guarding the unclamped DIT pass in
+  :mod:`repro.ntt.cooley_tukey` / :mod:`repro.ntt.negacyclic` is now
+  :func:`unclamped_dit_ok`, backed by the full symbolic plan analysis
+  (:func:`repro.analysis.stage_plans.analyze_batched_inverse`) — every
+  intermediate of the plan, including the fused final scaling product,
+  must fit uint64.
+* ``num_digits * max(q)**2 < 2**64`` guarding the fused keyswitch
+  accumulation in :mod:`repro.fhe.keyswitch` is now
+  :func:`keyswitch_lazy_accumulate_ok`.
+
+All gates are ``lru_cache``'d: the analyses are O(log n) exact-integer
+arithmetic, and the hot paths see a dictionary hit after the first call
+for a given shape.
+
+The derived gates are *never stricter in the wrong direction* than the
+hand-coded ones they replace: the exact binding product for the
+unclamped DIT plan is ``((log2(n)+1)q - 1)(q - 1)``, slightly below the
+old ceiling ``(log2(n)+1) q**2``, so every previously-eligible modulus
+remains eligible and a few boundary moduli gain the fast path — with a
+machine-checked proof instead of a comment.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.intervals import U64_MAX
+from repro.analysis.stage_plans import (
+    analyze_batched_inverse,
+    analyze_keyswitch_accumulate,
+)
+
+
+@lru_cache(maxsize=1024)
+def unclamped_dit_ok(log_n: int, max_q: int) -> bool:
+    """May the clamp-free DIT pass run for ``n = 2**log_n`` and moduli up
+    to ``max_q``?
+
+    True iff the symbolic plan analysis proves every intermediate of
+    ``dit_stages_unclamped`` *plus* the fused final scaling multiply
+    fits uint64.
+    """
+    return analyze_batched_inverse(log_n, max_q, unclamped=True).ok
+
+
+@lru_cache(maxsize=1024)
+def unclamped_dit_lane_bound(log_n: int, max_q: int) -> int:
+    """Exact inclusive lane bound after the unclamped DIT stages:
+    ``(log_n + 1) * max_q - 1`` for a reduced entry (derived, not
+    assumed)."""
+    report = analyze_batched_inverse(log_n, max_q, unclamped=True)
+    return report.stage_bounds[-1]
+
+
+@lru_cache(maxsize=1024)
+def keyswitch_lazy_accumulate_ok(num_digits: int, max_q: int) -> bool:
+    """May ``num_digits`` digit-by-key products accumulate unreduced in
+    uint64 before a single final ``%``?
+
+    True iff the accumulator's exact bound ``num_digits * (max_q - 1)**2``
+    (and every partial sum) fits uint64.
+    """
+    if num_digits == 0:
+        return True
+    return analyze_keyswitch_accumulate(num_digits, max_q, lazy=True).ok
+
+
+@lru_cache(maxsize=1024)
+def mul_fits_uint64(max_a: int, max_b: int) -> bool:
+    """Does a raw elementwise product of values up to ``max_a``/``max_b``
+    fit uint64?  The guard for *any* un-gated ``a * b % q`` fallback."""
+    return max_a * max_b <= U64_MAX

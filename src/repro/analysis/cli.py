@@ -1,0 +1,211 @@
+"""The ``fhecheck`` command line: ``python -m repro.analysis``.
+
+Three sections, all run by default:
+
+* ``programs`` — compile every micro-program of the toy workload
+  (forward/inverse negacyclic NTT for every chain + special prime, the
+  rotation and conjugation automorphisms the keyswitch tests exercise)
+  and interval-verify each with
+  :func:`repro.analysis.program_check.check_program`.
+* ``plans`` — symbolically verify the lazy-reduction stage plans across
+  the supported modulus regimes (Shoup ``< 2**30``, plain lazy
+  ``< 2**31``) plus the fused keyswitch accumulation for the toy
+  parameter set, and confirm the unclamped-DIT gate agrees with the
+  analysis on both sides of the boundary.
+* ``lint`` — run the repository AST rules over ``src/repro``.
+
+``--json`` emits machine-readable findings; the exit status is nonzero
+iff any error-severity finding fired (the CI contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.bounds import unclamped_dit_ok
+from repro.analysis.lint import lint_paths
+from repro.analysis.program_check import ProgramCheckReport, check_program
+from repro.analysis.stage_plans import (
+    PlanReport,
+    analyze_batched_forward,
+    analyze_batched_inverse,
+    analyze_keyswitch_accumulate,
+)
+
+_SECTIONS = ("programs", "plans", "lint")
+
+
+def _check_programs(m: int, verbose: bool) -> tuple[list[Finding], list[str]]:
+    """Compile and interval-verify the toy workload's micro-programs."""
+    from repro.automorphism.mapping import (
+        galois_element_for_rotation,
+        galois_eval_permutation,
+    )
+    from repro.fhe.params import toy_params
+    from repro.mapping import compile_automorphism
+    from repro.mapping.ntt import (
+        compile_negacyclic_intt,
+        compile_negacyclic_ntt,
+    )
+
+    params = toy_params()
+    n = params.n
+    primes = params.primes + (params.special_prime,)
+    findings: list[Finding] = []
+    lines: list[str] = []
+    reports: list[ProgramCheckReport] = []
+    # The keyswitch workload is, per digit, a batch of forward NTTs over
+    # every limb plus the accumulation — so verifying the forward and
+    # inverse NTT programs for every prime of the full basis covers every
+    # micro-program a toy keyswitch dispatches.
+    for q in primes:
+        for kind, compiler in (("ntt", compile_negacyclic_ntt),
+                               ("intt", compile_negacyclic_intt)):
+            program = compiler(n, m, q)
+            reports.append(check_program(program, q=q, m=m))
+    # Rotation + conjugation automorphisms (modulus-independent programs,
+    # verified under the widest modulus of the basis).
+    for galois_k in (galois_element_for_rotation(n, 1), 2 * n - 1):
+        perm = galois_eval_permutation(n, galois_k)
+        program = compile_automorphism(perm, m)
+        reports.append(check_program(program, q=max(primes), m=m))
+    for report in reports:
+        findings.extend(report.findings)
+        status = "ok " if report.ok else "FAIL"
+        line = (f"[{status}] program {report.label:45s} q={report.q:<10d} "
+                f"{report.instructions:5d} instrs, max intermediate "
+                f"2^{report.max_intermediate.bit_length()}")
+        lines.append(line)
+        if verbose or not report.ok:
+            lines += [f"    {f}" for f in report.findings]
+    return findings, lines
+
+
+def _plan_regimes() -> Iterable[tuple[str, int, int]]:
+    """(label, log_n, q) triples spanning the supported regimes."""
+    from repro.arith.primes import find_ntt_prime
+    from repro.fhe.params import toy_params
+
+    params = toy_params()
+    log_n = params.n.bit_length() - 1
+    yield "toy chain max", log_n, max(params.primes + (params.special_prime,))
+    n = params.n
+    yield "shoup edge (just below 2^30)", log_n, find_ntt_prime(2 * n, 30)
+    yield "widest vectorized (just below 2^31)", log_n, \
+        find_ntt_prime(2 * n, 31)
+
+
+def _check_plans(verbose: bool) -> tuple[list[Finding], list[str]]:
+    from repro.fhe.params import toy_params
+
+    findings: list[Finding] = []
+    lines: list[str] = []
+    reports: list[tuple[str, PlanReport]] = []
+    for label, log_n, q in _plan_regimes():
+        reports.append((label, analyze_batched_forward(log_n, q)))
+        unclamped = unclamped_dit_ok(log_n, q)
+        reports.append((label, analyze_batched_inverse(
+            log_n, q, unclamped=unclamped)))
+        # The gate must agree with the analysis on the rejected side too:
+        # if the unclamped plan is refused, its analysis must say why.
+        if not unclamped:
+            refused = analyze_batched_inverse(log_n, q, unclamped=True)
+            status = "ok " if not refused.ok else "FAIL"
+            lines.append(f"[{status}] gate refuses unclamped DIT for "
+                         f"q={q} (analysis agrees: {not refused.ok})")
+            if refused.ok:
+                findings.extend(
+                    analyze_batched_inverse(log_n, q, unclamped=True)
+                    .findings)
+    params = toy_params()
+    maxq = max(params.primes + (params.special_prime,))
+    reports.append(("toy keyswitch", analyze_keyswitch_accumulate(
+        params.levels, maxq, lazy=True)))
+    for label, report in reports:
+        findings.extend(report.findings)
+        status = "ok " if report.ok else "FAIL"
+        lines.append(
+            f"[{status}] plan {report.name:32s} ({label}) q={report.q:<10d} "
+            f"lane bound {report.stage_bounds[-1]}, max intermediate "
+            f"2^{report.max_intermediate.bit_length()}")
+        if verbose or not report.ok:
+            lines += [f"    {f}" for f in report.findings]
+    return findings, lines
+
+
+def _check_lint(root: Path, verbose: bool) -> tuple[list[Finding], list[str]]:
+    findings = lint_paths([root])
+    lines = [f"[{'ok ' if not findings else 'FAIL'}] lint over {root}: "
+             f"{len(findings)} finding(s)"]
+    lines += [f"    {f}" for f in findings]
+    return findings, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="fhecheck: static bound/overflow verification for the "
+                    "lazy-reduction kernels and VPU micro-programs.")
+    parser.add_argument("sections", nargs="*", metavar="section",
+                        default=[],
+                        help=f"which sections to run: {', '.join(_SECTIONS)} "
+                             f"(default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable findings on stdout")
+    parser.add_argument("--lint-root", default=None,
+                        help="directory to lint (default: the installed "
+                             "repro package source)")
+    parser.add_argument("-m", "--lanes", type=int, default=16,
+                        help="VPU lane count for program verification")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every finding, not just failures")
+    args = parser.parse_args(argv)
+
+    sections = args.sections or list(_SECTIONS)
+    unknown = [s for s in sections if s not in _SECTIONS]
+    if unknown:
+        parser.error(f"unknown section(s) {unknown}; "
+                     f"choose from {', '.join(_SECTIONS)}")
+    started = time.perf_counter()
+    findings: list[Finding] = []
+    lines: list[str] = []
+    if "programs" in sections:
+        f, out = _check_programs(args.lanes, args.verbose)
+        findings += f
+        lines += out
+    if "plans" in sections:
+        f, out = _check_plans(args.verbose)
+        findings += f
+        lines += out
+    if "lint" in sections:
+        root = (Path(args.lint_root) if args.lint_root
+                else Path(__file__).resolve().parents[1])
+        f, out = _check_lint(root, args.verbose)
+        findings += f
+        lines += out
+
+    errors = [f for f in findings if f.severity.value == "error"]
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(json.dumps({
+            "ok": not errors,
+            "sections": sections,
+            "elapsed_s": round(elapsed, 3),
+            "findings": [f.to_dict() for f in findings],
+        }, indent=2))
+    else:
+        print("\n".join(lines))
+        verdict = "clean" if not errors else f"{len(errors)} error(s)"
+        print(f"fhecheck: {verdict} across {', '.join(sections)} "
+              f"in {elapsed:.2f}s")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

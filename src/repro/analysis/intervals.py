@@ -1,0 +1,221 @@
+"""The unsigned interval domain used by every ``fhecheck`` pass.
+
+Bounds are exact Python integers (never numpy scalars), so products of
+two 63-bit quantities do not wrap during the *analysis* — detecting that
+they would wrap in the uint64 *kernels* is the whole point.
+
+Two layers:
+
+* :class:`Interval` — one ``[lo, hi]`` range (inclusive ends), with the
+  transfer functions the kernels actually use, including the
+  unsigned-wraparound conditional subtract
+  ``np.minimum(x, x - t)`` that the lazy stages rely on.
+* :class:`IntervalVec` — one interval per VPU lane, so per-lane
+  constants (twiddle vectors) keep their exact values through the
+  micro-program walk instead of collapsing to a register-wide bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+U64_MAX: int = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive unsigned range ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError(f"interval lower bound negative: {self.lo}")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        """The singleton interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def reduced(q: int) -> "Interval":
+        """A fully reduced residue: ``[0, q - 1]``."""
+        return Interval(0, q - 1)
+
+    @staticmethod
+    def upto(hi: int) -> "Interval":
+        """``[0, hi]``."""
+        return Interval(0, hi)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def fits_uint64(self) -> bool:
+        return self.hi <= U64_MAX
+
+    def within(self, bound: int) -> bool:
+        """True when every value is ``<= bound``."""
+        return self.hi <= bound
+
+    # -- transfer functions ------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def add_const(self, c: int) -> "Interval":
+        return Interval(self.lo + c, self.hi + c)
+
+    def mul(self, other: "Interval") -> "Interval":
+        # All values are unsigned, so the extremes multiply directly.
+        return Interval(self.lo * other.lo, self.hi * other.hi)
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def mod(self, q: int) -> "Interval":
+        """A true ``% q`` reduction: ``[0, q - 1]`` unless already below."""
+        if self.hi < q:
+            return self
+        return Interval.reduced(q)
+
+    def sub_nonneg(self, other: "Interval") -> "Interval":
+        """``self - other`` when the kernel guarantees non-negativity
+        (e.g. ``(u + 2q) - v`` with ``v <= 2q``).  Raises if the
+        guarantee cannot hold for every value pair."""
+        if self.lo - other.hi < 0:
+            raise ValueError(
+                f"subtraction may go negative: [{self.lo},{self.hi}] - "
+                f"[{other.lo},{other.hi}]")
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def cond_sub(self, t: int) -> "Interval":
+        """Model ``np.minimum(x, x - t)`` on uint64 (wraparound select).
+
+        For ``x < t`` the subtraction wraps to a huge value and the
+        minimum keeps ``x``; for ``x >= t`` it keeps ``x - t``.  The
+        result is below ``t`` **only if** ``hi < 2t`` — the analyzer
+        models the true outcome, so a dropped clamp earlier in a plan
+        cascades into a visible bound blow-up rather than being silently
+        absorbed.  The trick itself requires ``hi <= U64_MAX`` (checked
+        by the caller before this transfer function runs).
+        """
+        if self.hi < t:
+            return self
+        if self.lo >= t:
+            return Interval(self.lo - t, self.hi - t)
+        # Mixed: the kept branch tops out at t - 1, the reduced branch
+        # at hi - t; values >= t map down to >= 0.
+        return Interval(0, max(t - 1, self.hi - t))
+
+
+class IntervalVec:
+    """Per-lane intervals for one register row (or memory row).
+
+    Stored as two parallel tuples of Python ints, one ``(lo, hi)`` pair
+    per lane.  Twiddle vectors construct exact singleton lanes, which
+    keeps the product bounds tight in the micro-program walk.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[int], hi: Sequence[int]):
+        if len(lo) != len(hi):
+            raise ValueError("lo/hi length mismatch")
+        self.lo = tuple(int(v) for v in lo)
+        self.hi = tuple(int(v) for v in hi)
+        for a, b in zip(self.lo, self.hi):
+            if a < 0 or a > b:
+                raise ValueError(f"bad lane interval [{a}, {b}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def uniform(m: int, interval: Interval) -> "IntervalVec":
+        return IntervalVec((interval.lo,) * m, (interval.hi,) * m)
+
+    @staticmethod
+    def reduced(m: int, q: int) -> "IntervalVec":
+        return IntervalVec.uniform(m, Interval.reduced(q))
+
+    @staticmethod
+    def exact(values: Iterable[int]) -> "IntervalVec":
+        vals = tuple(int(v) for v in values)
+        return IntervalVec(vals, vals)
+
+    # -- views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.lo)
+
+    def lane(self, i: int) -> Interval:
+        return Interval(self.lo[i], self.hi[i])
+
+    def lanes(self) -> list[Interval]:
+        return [Interval(a, b) for a, b in zip(self.lo, self.hi)]
+
+    @property
+    def max_hi(self) -> int:
+        return max(self.hi)
+
+    @property
+    def fits_uint64(self) -> bool:
+        return self.max_hi <= U64_MAX
+
+    def every(self, i: int, step: int) -> "IntervalVec":
+        """Strided lane view ``[i::step]`` (butterfly halves)."""
+        return IntervalVec(self.lo[i::step], self.hi[i::step])
+
+    def permute(self, src_of_dst: Sequence[int]) -> "IntervalVec":
+        """Route lanes: destination lane ``d`` takes lane
+        ``src_of_dst[d]``."""
+        return IntervalVec([self.lo[s] for s in src_of_dst],
+                           [self.hi[s] for s in src_of_dst])
+
+    @staticmethod
+    def interleave(even: "IntervalVec", odd: "IntervalVec") -> "IntervalVec":
+        """Zip two half-width vectors back into adjacent-pair order."""
+        if len(even) != len(odd):
+            raise ValueError("half lengths differ")
+        lo: list[int] = []
+        hi: list[int] = []
+        for i in range(len(even)):
+            lo.extend((even.lo[i], odd.lo[i]))
+            hi.extend((even.hi[i], odd.hi[i]))
+        return IntervalVec(lo, hi)
+
+    # -- lane-wise transfer functions --------------------------------------
+
+    def _zip(self, other: "IntervalVec") -> None:
+        if len(self) != len(other):
+            raise ValueError(
+                f"lane count mismatch: {len(self)} vs {len(other)}")
+
+    def add(self, other: "IntervalVec") -> "IntervalVec":
+        self._zip(other)
+        return IntervalVec([a + b for a, b in zip(self.lo, other.lo)],
+                           [a + b for a, b in zip(self.hi, other.hi)])
+
+    def mul(self, other: "IntervalVec") -> "IntervalVec":
+        self._zip(other)
+        return IntervalVec([a * b for a, b in zip(self.lo, other.lo)],
+                           [a * b for a, b in zip(self.hi, other.hi)])
+
+    def mod(self, q: int) -> "IntervalVec":
+        return IntervalVec([0 if b >= q else a
+                            for a, b in zip(self.lo, self.hi)],
+                           [min(b, q - 1) for b in self.hi])
+
+    def union(self, other: "IntervalVec") -> "IntervalVec":
+        self._zip(other)
+        return IntervalVec([min(a, b) for a, b in zip(self.lo, other.lo)],
+                           [max(a, b) for a, b in zip(self.hi, other.hi)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        worst = max(self.hi)
+        return f"IntervalVec(m={len(self)}, max_hi={worst})"

@@ -1,0 +1,323 @@
+"""Repository-specific AST lint rules (the ``fhecheck lint`` pass).
+
+These are *heuristic* rules targeting the failure modes this codebase
+has actually paid for in review time — each encodes one way the uint64
+fast paths silently go wrong:
+
+``FHC001`` **object-dtype leak** — an ``object``-dtype value (from
+    ``.astype(object)`` or ``dtype=object``) is narrowed straight into a
+    fixed-width integer (``.astype(np.uint64)``, ``np.uint64(...)``)
+    without an intervening ``%`` reduction, or fed to ``np.minimum``
+    (whose wraparound-clamp idiom is meaningless off uint64).
+
+``FHC002`` **unchecked narrowing** — ``.astype`` to a *signed or
+    narrower* integer dtype (``int64``/``int32``/``uint32``) in a
+    function with no visible power-of-two range guard.  Widening to
+    ``uint64`` is exempt.
+
+``FHC003`` **unreduced product under %** — ``(a ± b) * c % q`` in
+    uint64-handling code: the product of an unreduced sum can exceed
+    uint64 *before* the reduction ever runs.  Operands already reduced
+    by an inner ``%`` are exempt.
+
+``FHC004`` **lazy value escapes unclamped** — a function calls one of
+    the lazy/unclamped stage kernels but never applies a ``%`` or a
+    ``np.minimum`` conditional subtract afterwards, so a ``>= q`` (or
+    ``>= 2q``) value may become architecturally visible.
+
+Suppression: append ``# fhecheck: ok`` (all rules) or
+``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
+line directly above it when the line is too long — ideally with a
+justification after an em-dash.  Suppressions are deliberate,
+reviewable artifacts — the point is that the *reason* lives next to the
+code instead of in a lost PR comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.findings import Finding, FindingList
+
+_SUPPRESS_RE = re.compile(r"#\s*fhecheck:\s*ok(?:=(?P<rules>[A-Z0-9,]+))?")
+
+_NARROW_DTYPES = {"int64", "int32", "uint32", "int16", "uint16",
+                  "int8", "uint8"}
+_LAZY_KERNELS = {"dif_stages_lazy", "dit_stages_lazy",
+                 "dit_stages_unclamped"}
+
+
+def _dtype_name(node: ast.expr) -> str | None:
+    """Name of a dtype expression: ``np.int64`` -> ``int64``,
+    ``"int64"`` -> ``int64``, ``object`` -> ``object``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_astype_call(node: ast.AST, dtypes: set[str]) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and len(node.args) == 1
+            and _dtype_name(node.args[0]) in dtypes)
+
+
+def _has_object_dtype(node: ast.AST, *, stop_at_mod: bool) -> bool:
+    """Does the subtree produce/contain an object-dtype value?
+
+    With ``stop_at_mod`` the search does not descend below a ``%`` or
+    ``//`` operation — a value reduced (or re-bounded by division, as in
+    the Shoup precompute ``(w << 32) // q``) is safe to narrow
+    regardless of how it was produced.
+    """
+    if stop_at_mod and isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Mod, ast.FloorDiv)):
+        return False
+    if _is_astype_call(node, {"object"}):
+        return True
+    if isinstance(node, ast.keyword) and node.arg == "dtype" and \
+            _dtype_name(node.value) == "object":
+        return True
+    return any(_has_object_dtype(child, stop_at_mod=stop_at_mod)
+               for child in ast.iter_child_nodes(node))
+
+
+def _is_np_call(node: ast.AST, name: str) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == name
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "np")
+
+
+def _contains_unreduced_sum(node: ast.expr) -> bool:
+    """Is this multiplicand syntactically an un-reduced sum/difference?"""
+    return (isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Add, ast.Sub)))
+
+
+def _function_has_range_guard(fn: ast.AST) -> bool:
+    """Does the function visibly bound the narrowed value?
+
+    Two accepted idioms:
+
+    * an explicit power-of-two comparison (``x < (1 << 31)`` /
+      ``2**31``) anywhere in the function — a deliberate width gate;
+    * the repository's centered-lift pattern
+      ``np.where(x > q // 2, x - q, x)`` — the comparison against
+      ``_ // 2`` marks the value as a reduced residue (``< q < 2**62``,
+      the Barrett modulus ceiling), which int64 holds exactly.
+    """
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Compare):
+            continue
+        for side in [node.left, *node.comparators]:
+            for sub in ast.walk(side):
+                if not isinstance(sub, ast.BinOp):
+                    continue
+                if isinstance(sub.op, (ast.LShift, ast.Pow)):
+                    base = sub.left
+                    if isinstance(base, ast.Constant) and \
+                            base.value in (1, 2):
+                        return True
+                if isinstance(sub.op, ast.FloorDiv) and \
+                        isinstance(sub.right, ast.Constant) and \
+                        sub.right.value == 2:
+                    return True
+    return False
+
+
+def _function_mentions_uint64(fn: ast.AST, source: str,
+                              lines: list[str]) -> bool:
+    """FHC003 scope guard: only numpy/uint64-handling functions are
+    subject — scalar Python-int code is exact and exempt."""
+    segment = ast.get_source_segment(source, fn)
+    if segment is None:  # pragma: no cover - degenerate source
+        return True
+    return "uint64" in segment
+
+
+class _Suppressions:
+    def __init__(self, source: str):
+        self.by_line: dict[int, set[str] | None] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = match.group("rules")
+                self.by_line[lineno] = (set(rules.split(","))
+                                        if rules else None)
+
+    def active(self, lineno: int, rule: str) -> bool:
+        # A suppression lives on the offending line or, when the line is
+        # too long for a trailing comment, on the line directly above.
+        for candidate in (lineno, lineno - 1):
+            if candidate in self.by_line:
+                rules = self.by_line[candidate]
+                return rules is None or rule in rules
+        return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, source: str, filename: str):
+        self.source = source
+        self.filename = filename
+        self.lines = source.splitlines()
+        self.suppressions = _Suppressions(source)
+        self.findings = FindingList()
+        self._fn_stack: list[ast.AST] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self.suppressions.active(lineno, rule):
+            return
+        self.findings.error("lint", rule,
+                            f"{self.filename}:{lineno}", message)
+
+    # -- function context --------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._fn_stack.append(node)
+        self._check_lazy_escape(node)
+        self.generic_visit(node)
+        self._fn_stack.pop()
+
+    # -- FHC001 / FHC002: calls --------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_astype_call(node, _NARROW_DTYPES | {"uint64", "int_"}):
+            dtype = _dtype_name(node.args[0])
+            receiver = node.func.value  # type: ignore[union-attr]
+            if _has_object_dtype(receiver, stop_at_mod=True):
+                self._flag(
+                    "FHC001", node,
+                    f"object-dtype value narrowed straight to {dtype} "
+                    f"without an intervening % reduction")
+            elif dtype in _NARROW_DTYPES:
+                self._check_narrow(node, dtype)
+        elif _is_np_call(node, "uint64") or _is_np_call(node, "int64"):
+            for arg in node.args:
+                if _has_object_dtype(arg, stop_at_mod=True):
+                    self._flag(
+                        "FHC001", node,
+                        "object-dtype value passed to a fixed-width "
+                        "integer constructor without a % reduction")
+        elif _is_np_call(node, "minimum"):
+            for arg in node.args:
+                if _has_object_dtype(arg, stop_at_mod=False):
+                    self._flag(
+                        "FHC001", node,
+                        "np.minimum wraparound clamp applied to an "
+                        "object-dtype value — the uint64 conditional-"
+                        "subtract idiom does not hold off uint64")
+        self.generic_visit(node)
+
+    def _check_narrow(self, node: ast.Call, dtype: str) -> None:
+        fn = self._fn_stack[-1] if self._fn_stack else None
+        if fn is not None and _function_has_range_guard(fn):
+            return
+        self._flag(
+            "FHC002", node,
+            f".astype({dtype}) narrowing with no visible power-of-two "
+            f"range guard in the enclosing function — values above the "
+            f"target width wrap silently")
+
+    # -- FHC003: unreduced product under % ---------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Mod) and isinstance(node.left, ast.BinOp) \
+                and isinstance(node.left.op, ast.Mult):
+            fn = self._fn_stack[-1] if self._fn_stack else None
+            if fn is not None and _function_mentions_uint64(
+                    fn, self.source, self.lines):
+                mult = node.left
+                for operand in (mult.left, mult.right):
+                    if _contains_unreduced_sum(operand):
+                        self._flag(
+                            "FHC003", node,
+                            "product of an unreduced sum taken mod q — "
+                            "the uint64 product may overflow before the "
+                            "% ever runs; reduce or clamp the sum first")
+                        break
+        self.generic_visit(node)
+
+    # -- FHC004: lazy value escapes unclamped ------------------------------
+
+    def _check_lazy_escape(self, fn: ast.AST) -> None:
+        lazy_calls: list[ast.Call] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name in _LAZY_KERNELS:
+                    lazy_calls.append(node)
+        if not lazy_calls:
+            return
+        def _reduces_after(lineno: int) -> bool:
+            for node in ast.walk(fn):
+                if getattr(node, "lineno", 0) <= lineno:
+                    continue
+                if isinstance(node, ast.BinOp) and isinstance(
+                        node.op, ast.Mod):
+                    return True
+                if isinstance(node, ast.AugAssign) and isinstance(
+                        node.op, ast.Mod):
+                    return True
+                if _is_np_call(node, "minimum"):
+                    return True
+            return False
+        for call in lazy_calls:
+            if not _reduces_after(call.lineno):
+                self._flag(
+                    "FHC004", call,
+                    "lazy/unclamped stage result is never clamped "
+                    "(np.minimum) or reduced (%) afterwards — a >= q "
+                    "value may escape this function")
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
+    """Lint one source string; returns the findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        findings = FindingList()
+        findings.error("lint", "FHC000",
+                       f"{filename}:{exc.lineno or 0}",
+                       f"syntax error: {exc.msg}")
+        return findings.findings
+    linter = _Linter(source, filename)
+    linter.visit(tree)
+    return linter.findings.findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and/or directories (``*.py``, recursively)."""
+    findings: list[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings

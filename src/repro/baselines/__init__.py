@@ -32,6 +32,7 @@ from repro.baselines.sharp import SharpPermuter, sharp_network_cost
 
 __all__ = [
     "ArkPermuter",
+    "SharpPermuter",
     "BenesNetwork",
     "BtsPermuter",
     "Crossbar",

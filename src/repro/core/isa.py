@@ -15,8 +15,7 @@ the register file in one of the two lanes".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import Iterator
 
 from repro.core.network import NetworkConfig
 
@@ -247,10 +246,10 @@ class Program:
     def __len__(self) -> int:
         return len(self.instructions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
 
-    def count(self, kind: type) -> int:
+    def count(self, kind: type[Instruction]) -> int:
         """Number of instructions of the given class."""
         return sum(1 for i in self.instructions if isinstance(i, kind))
 

@@ -15,7 +15,7 @@ that the power model credits the unified design for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.automorphism.mapping import AffinePermutation, galois_eval_permutation
+from repro.automorphism.mapping import galois_eval_permutation
 from repro.ntt.negacyclic import NegacyclicNtt, get_batched_ntt
 
 _NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
@@ -109,7 +109,7 @@ class VpuBackend:
 
     name = "vpu"
 
-    def __init__(self, m: int = 16):
+    def __init__(self, m: int = 16, verify_programs: bool | None = None):
         from repro.core import VectorProcessingUnit
         from repro.mapping import required_registers
 
@@ -120,6 +120,13 @@ class VpuBackend:
         )
         self.kernel_invocations = 0
         self.program_compilations = 0
+        self.programs_verified = 0
+        if verify_programs is None:
+            import os
+            verify_programs = bool(os.environ.get("REPRO_VERIFY_PROGRAMS"))
+        #: Debug hook: interval-verify every newly compiled micro-program
+        #: (repro.analysis.program_check) before it enters the cache.
+        self.verify_programs = verify_programs
         self._programs: dict[tuple, object] = {}
 
     def _prepare(self, n: int, q: int):
@@ -155,6 +162,13 @@ class VpuBackend:
                 prog = compile_automorphism(perm, self.m)
             else:  # pragma: no cover - internal misuse
                 raise ValueError(f"unknown kernel kind {kind!r}")
+            if self.verify_programs:
+                # Raises ProgramVerificationError before a bad program
+                # can enter the cache (and be replayed limb after limb).
+                from repro.analysis.program_check import check_program
+
+                check_program(prog, q=q, m=self.m).raise_on_error()
+                self.programs_verified += 1
             self.program_compilations += 1
             self._programs[key] = prog
         return prog

@@ -83,6 +83,7 @@ class BfvContext:
     def _decode_coeffs(self, coeffs: np.ndarray) -> np.ndarray:
         evals = self._plain_ntt.forward(
             np.asarray(coeffs, dtype=object) % self.t)
+        # fhecheck: ok=FHC002 — evals are residues mod t < 2**62
         return evals[self._slot_order].astype(np.int64)
 
     # -- keys ---------------------------------------------------------------

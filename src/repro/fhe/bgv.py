@@ -141,6 +141,7 @@ class BgvContext:
         """Centered integer coefficients -> integer slots (mod t)."""
         evals = self._plain_ntt.forward(
             np.asarray(plain_coeffs, dtype=object) % self.t)
+        # fhecheck: ok=FHC002 — evals are residues mod t < 2**62
         return evals[self._slot_order].astype(np.int64)
 
     # -- keys ----------------------------------------------------------------

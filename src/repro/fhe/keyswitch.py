@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.bounds import keyswitch_lazy_accumulate_ok, mul_fits_uint64
 from repro.arith.modular import mod_inverse
 from repro.fhe.backend import get_backend
 from repro.fhe.params import CkksParams
@@ -152,27 +153,46 @@ def accumulate_keyswitch(
 
     Accumulates ``sum_i digit_i * b_i`` and ``sum_i digit_i * a_i`` in
     place over the ``(L+1, n)`` residue matrices with lazy reduction:
-    when ``num_digits * max(q)**2`` fits uint64 (always true for the
+    when the analyzer proves the full unreduced accumulator
+    ``num_digits * (max(q)-1)**2`` fits uint64 (always true for the
     repository's <=30-bit primes and practical digit counts) the raw
     products accumulate unreduced and each sum takes exactly **one**
-    final ``%``.  ``keep`` selects the key limbs matching the digits'
-    basis (level prefix plus special prime).
+    final ``%``.  Otherwise each product is reduced as it is added —
+    through uint64 while a single raw product still fits, through
+    object dtype beyond that (moduli of 2**32 and up, where even one
+    product would wrap).  ``keep`` selects the key limbs matching the
+    digits' basis (level prefix plus special prime).
     """
     q_col = np.array(primes, dtype=np.uint64)[:, None]
     maxq = max(primes)
-    lazy = len(digits) * maxq * maxq < (1 << 64)
+    lazy = keyswitch_lazy_accumulate_ok(len(digits), maxq)
+    wide = not mul_fits_uint64(maxq - 1, maxq - 1)
     acc0 = np.zeros_like(digits[0].residues)
     acc1 = np.zeros_like(digits[0].residues)
+    if wide:
+        acc0 = acc0.astype(object)
+        acc1 = acc1.astype(object)
+        q_col = q_col.astype(object)
     for i, digit in enumerate(digits):
         b_i, a_i = ksk.pairs[i]
         if lazy:
             acc0 += digit.residues * b_i.residues[keep]
             acc1 += digit.residues * a_i.residues[keep]
+        elif wide:
+            d = digit.residues.astype(object)
+            acc0 = (acc0 + d * b_i.residues[keep].astype(object)) % q_col
+            acc1 = (acc1 + d * a_i.residues[keep].astype(object)) % q_col
         else:
-            acc0 += digit.residues * b_i.residues[keep] % q_col
-            acc1 += digit.residues * a_i.residues[keep] % q_col
+            # Each summand is reduced (< q) and the running sum is kept
+            # < q, so the uint64 addition transient stays below 2q.
+            acc0 = (acc0 + digit.residues * b_i.residues[keep] % q_col) % q_col
+            acc1 = (acc1 + digit.residues * a_i.residues[keep] % q_col) % q_col
     acc0 %= q_col
     acc1 %= q_col
+    if wide:
+        # fhecheck: ok=FHC001 — reduced residues < q < 2**62 fit uint64
+        acc0 = acc0.astype(np.uint64)
+        acc1 = acc1.astype(np.uint64)
     return (RnsPoly(acc0, primes, is_eval=True),
             RnsPoly(acc1, primes, is_eval=True))
 

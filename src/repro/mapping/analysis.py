@@ -10,7 +10,7 @@ instead of hand rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.isa import Instruction, Load, NetworkPass, Program, Store
 

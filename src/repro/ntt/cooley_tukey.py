@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.bounds import unclamped_dit_ok
 from repro.ntt.tables import NttTables
 
 
@@ -150,9 +151,13 @@ def dif_stages_lazy(a: np.ndarray, q3: np.ndarray, two_q3: np.ndarray,
                     shoup_stages: list[np.ndarray] | None = None) -> None:
     """In-place Gentleman–Sande stages on an ``(L, n)`` stack.
 
-    Inputs must be ``< q`` per row; outputs are ``< 2q`` — callers finish
-    with one conditional subtract.  ``q3``/``two_q3`` are ``(L, 1, 1)``
-    broadcast columns.
+    Inputs may be lazily reduced (``< 2q`` per row — the Shoup psi fold
+    feeds exactly that); outputs are ``< 2q`` — callers finish with one
+    conditional subtract.  The ``< 4q`` butterfly transient then caps
+    the twiddle product at ``(4q-1)(q-1)``, inside uint64 for every
+    ``q < 2**31`` (machine-checked by
+    :func:`repro.analysis.stage_plans.analyze_dif_lazy`).
+    ``q3``/``two_q3`` are ``(L, 1, 1)`` broadcast columns.
 
     With ``shoup_stages`` (requires every ``q < 2**30``) the twiddle
     product uses Shoup multiplication — ``r = x*w - (x*w' >> 32)*q`` with
@@ -224,11 +229,15 @@ def dit_stages_unclamped(a: np.ndarray, q3: np.ndarray,
                          tw_stages: list[np.ndarray]) -> None:
     """In-place DIT stages with **no** per-stage clamping.
 
-    Valid when ``(log2(n) + 1) * max(q)**2 < 2**64``: the twiddled half
-    of every butterfly is freshly reduced (``< q``), so lane magnitudes
-    grow by at most ``q`` per stage — ``(log2(n) + 1) * q`` in total —
-    and every intermediate product stays inside uint64.  That halves the
-    ufunc dispatches of the clamped pass, which dominates for short limb
+    The twiddled half of every butterfly is freshly reduced (``< q``),
+    so lane magnitudes grow by exactly ``q`` per stage: entering at
+    ``<= q - 1``, the bound after stage ``s`` is ``(s + 2) * q - 1``,
+    i.e. ``(log2(n) + 1) * q - 1`` inclusive after the final stage.
+    Eligibility — every intermediate, including the caller's fused
+    scaling product against that final bound, fitting uint64 — is
+    decided by :func:`repro.analysis.bounds.unclamped_dit_ok`; do not
+    call this without that gate.  Skipping the clamps halves the ufunc
+    dispatches of the clamped pass, which dominates for short limb
     stacks.  Entry values must be ``< q``; callers finish with one true
     ``%`` (usually fused into the ``n^{-1}`` scaling).
     """
@@ -297,7 +306,7 @@ def vec_intt_dit_multi(x: np.ndarray, tables_per_row: list[NttTables],
     a = x % q_col
     maxq = max(t.q for t in tables_per_row)
     log_n = tables_per_row[0].log_n
-    if (log_n + 1) * maxq * maxq < (1 << 64):
+    if unclamped_dit_ok(log_n, maxq):
         dit_stages_unclamped(a, q3,
                              _stacked_stage_twiddles(tables_per_row, "dit"))
     else:

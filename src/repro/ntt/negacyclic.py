@@ -20,6 +20,7 @@ import numpy as np
 
 from functools import lru_cache
 
+from repro.analysis.bounds import unclamped_dit_ok
 from repro.ntt.cooley_tukey import (
     _stacked_stage_twiddles,
     dif_stages_lazy,
@@ -141,10 +142,12 @@ class BatchedNegacyclicNtt:
             self._psi_shoup = None
             self._unfold_shoup = None
         # Clamp-free inverse stages: lane growth is only +q per stage
-        # (the twiddled half is always freshly reduced), so for moduli
-        # with (log2(n)+1)*q**2 < 2**64 no per-stage reduction is needed.
+        # (the twiddled half is always freshly reduced), reaching exactly
+        # (log2(n)+1)*q - 1 after the last stage.  The analyzer proves
+        # every intermediate — including the fused unfold product — fits
+        # uint64 before the fast path is allowed.
         log_n = self.tables[0].log_n
-        self._dit_unclamped = (log_n + 1) * max(primes) ** 2 < (1 << 64)
+        self._dit_unclamped = unclamped_dit_ok(log_n, max(primes))
         self._bitrev = self.tables[0].bitrev
 
     def forward(self, residues: np.ndarray) -> np.ndarray:

@@ -1,0 +1,43 @@
+"""End-to-end tests for ``python -m repro.analysis`` (the CI contract:
+exit 0 and clean JSON when the repo is healthy, exit 1 with findings
+when anything regresses)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+class TestSections:
+    def test_full_run_is_clean(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fhecheck: clean" in out
+
+    def test_json_output_machine_readable(self, capsys):
+        assert main(["plans", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["sections"] == ["plans"]
+        assert payload["findings"] == []
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_lint_section_respects_root(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    return x.astype(np.int64)\n")
+        assert main(["lint", "--lint-root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FHC002" in out
+
+    def test_lint_findings_reported_in_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    return x.astype(np.int64)\n")
+        assert main(["lint", "--json", "--lint-root", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "FHC002"
+        assert str(bad) in payload["findings"][0]["location"]

@@ -1,0 +1,90 @@
+"""Unit tests for the interval domain underneath fhecheck."""
+
+import pytest
+
+from repro.analysis.intervals import U64_MAX, Interval, IntervalVec
+
+
+class TestInterval:
+    def test_constructors(self):
+        assert Interval.const(7) == Interval(7, 7)
+        assert Interval.reduced(10) == Interval(0, 9)
+        assert Interval.upto(5) == Interval(0, 5)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_predicates(self):
+        assert Interval(0, U64_MAX).fits_uint64
+        assert not Interval(0, U64_MAX + 1).fits_uint64
+        assert Interval(0, 9).within(9)
+        assert not Interval(0, 10).within(9)
+
+    def test_arithmetic_is_exact_python_int(self):
+        q = (1 << 61) - 1
+        big = Interval.reduced(q)
+        prod = big.mul(big)
+        assert prod.hi == (q - 1) ** 2  # no float rounding, no wrap
+
+    def test_add_and_mod(self):
+        a = Interval(2, 5).add(Interval(1, 3))
+        assert a == Interval(3, 8)
+        assert Interval(3, 8).mod(7) == Interval(0, 6)
+        # A narrow interval that cannot cross the modulus keeps its shape.
+        assert Interval(3, 5).mod(7) == Interval(3, 5)
+
+    def test_sub_nonneg(self):
+        d = Interval(10, 20).sub_nonneg(Interval(2, 4))
+        assert d == Interval(6, 18)
+
+    def test_cond_sub_models_wraparound_clamp(self):
+        # np.minimum(x, x - t): below t -> unchanged; above -> subtract.
+        assert Interval(0, 5).cond_sub(10) == Interval(0, 5)
+        assert Interval(12, 15).cond_sub(10) == Interval(2, 5)
+        # Straddling t: result covers both branches.
+        mixed = Interval(5, 15).cond_sub(10)
+        assert mixed.lo == 0 and mixed.hi == 9
+
+    def test_cond_sub_detects_dropped_clamp_growth(self):
+        """A value that was never clamped keeps its full magnitude —
+        this is exactly how a dropped conditional subtract cascades into
+        an overflow finding downstream."""
+        q = 1 << 30
+        unclamped = Interval(0, 4 * q - 1)
+        # Clamping brings it under 2q; without the clamp the 4q bound
+        # survives into the next product.
+        assert unclamped.cond_sub(2 * q).hi <= 2 * q - 1
+        assert unclamped.mul(Interval.reduced(q)).hi == \
+            (4 * q - 1) * (q - 1)
+
+
+class TestIntervalVec:
+    def test_exact_and_lane_access(self):
+        v = IntervalVec.exact([3, 1, 4])
+        assert len(v) == 3
+        assert v.lane(1) == Interval.const(1)
+        assert v.max_hi == 4
+
+    def test_every_and_interleave_roundtrip(self):
+        v = IntervalVec.exact(range(8))
+        even, odd = v.every(0, 2), v.every(1, 2)
+        back = IntervalVec.interleave(even, odd)
+        assert [back.lane(i) for i in range(8)] == \
+            [v.lane(i) for i in range(8)]
+
+    def test_permute_tracks_lanes(self):
+        v = IntervalVec.exact([10, 20, 30, 40])
+        rot = v.permute([1, 2, 3, 0])  # dst lane i <- src lane i+1
+        assert [iv.lo for iv in rot.lanes()] == [20, 30, 40, 10]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalVec.exact([1, 2]).add(IntervalVec.exact([1, 2, 3]))
+
+    def test_mul_per_lane(self):
+        a = IntervalVec.exact([2, 3])
+        b = IntervalVec.exact([5, 7])
+        assert [iv.hi for iv in a.mul(b).lanes()] == [10, 21]

@@ -1,0 +1,128 @@
+"""The repository-specific AST lint rules (fhecheck lint)."""
+
+import textwrap
+
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def _rules(source: str) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(source))]
+
+
+class TestFHC001ObjectLeak:
+    def test_flags_object_narrowed_without_reduction(self):
+        assert "FHC001" in _rules("""
+            def f(x):
+                return (x.astype(object) << 32).astype(np.uint64)
+            """)
+
+    def test_mod_reduction_exempts(self):
+        assert _rules("""
+            def f(x, q):
+                return (x.astype(object) * x % q).astype(np.uint64)
+            """) == []
+
+    def test_floordiv_rebound_exempts(self):
+        # The Shoup table precompute: (w << 32) // q is < 2**32.
+        assert _rules("""
+            def f(w, q):
+                return ((w.astype(object) << 32) // q).astype(np.uint64)
+            """) == []
+
+    def test_flags_minimum_on_object(self):
+        assert "FHC001" in _rules("""
+            def f(x, q):
+                return np.minimum(x.astype(object), x.astype(object) - q)
+            """)
+
+
+class TestFHC002Narrowing:
+    def test_flags_unguarded_narrowing(self):
+        assert "FHC002" in _rules("""
+            def f(x):
+                return x.astype(np.int64)
+            """)
+
+    def test_power_of_two_guard_exempts(self):
+        assert _rules("""
+            def f(x, q):
+                assert q < (1 << 31)
+                return x.astype(np.int64)
+            """) == []
+
+    def test_centered_lift_idiom_exempts(self):
+        assert _rules("""
+            def f(x, q):
+                signed = x.astype(np.int64)
+                return np.where(signed > q // 2, signed - q, signed)
+            """) == []
+
+    def test_widening_to_uint64_exempt(self):
+        assert _rules("""
+            def f(x):
+                return x.astype(np.uint64)
+            """) == []
+
+
+class TestFHC003UnreducedProduct:
+    def test_flags_sum_times_value_mod_q(self):
+        assert "FHC003" in _rules("""
+            def f(u, v, tw, q):
+                "operates on uint64 rows"
+                return (u + v) * tw % q
+            """)
+
+    def test_scalar_python_int_code_exempt(self):
+        assert _rules("""
+            def f(u, v, tw, q):
+                return (u + v) * tw % q
+            """) == []
+
+
+class TestFHC004LazyEscape:
+    def test_flags_unreduced_lazy_result(self):
+        assert "FHC004" in _rules("""
+            def f(a, q3, two_q3, tw):
+                dif_stages_lazy(a, q3, two_q3, tw)
+                return a
+            """)
+
+    def test_clamp_after_call_exempts(self):
+        assert _rules("""
+            def f(a, q, q3, two_q3, tw):
+                dif_stages_lazy(a, q3, two_q3, tw)
+                return np.minimum(a, a - q)
+            """) == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        assert _rules("""
+            def f(x):
+                return x.astype(np.int64)  # fhecheck: ok
+            """) == []
+
+    def test_preceding_line_rule_scoped(self):
+        assert _rules("""
+            def f(x):
+                # fhecheck: ok=FHC002 — bounded by construction
+                return x.astype(np.int64)
+            """) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        assert _rules("""
+            def f(x):
+                return x.astype(np.int64)  # fhecheck: ok=FHC001
+            """) == ["FHC002"]
+
+
+class TestDriver:
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def f(:", filename="broken.py")
+        assert [f.rule for f in findings] == ["FHC000"]
+
+    def test_repo_source_tree_is_clean(self):
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).parent
+        assert lint_paths([root]) == []

@@ -1,0 +1,104 @@
+"""Symbolic stage-plan analysis: derived bounds, gates, and the seeded
+mutations the acceptance criteria call for (a dropped conditional
+subtract must surface as a range/overflow violation)."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    keyswitch_lazy_accumulate_ok,
+    unclamped_dit_ok,
+    unclamped_dit_lane_bound,
+)
+from repro.analysis.stage_plans import (
+    analyze_batched_forward,
+    analyze_batched_inverse,
+    analyze_dif_lazy,
+    analyze_dit_lazy,
+    analyze_dit_unclamped,
+    analyze_keyswitch_accumulate,
+)
+from repro.arith.primes import find_ntt_prime
+
+Q28 = find_ntt_prime(512, 28)   # toy regime
+Q30 = find_ntt_prime(512, 30)   # Shoup edge
+Q31 = find_ntt_prime(512, 31)   # widest vectorized
+
+
+class TestCleanPlans:
+    @pytest.mark.parametrize("q,shoup", [(Q28, True), (Q30, True),
+                                         (Q31, False)])
+    def test_dif_lazy_clean(self, q, shoup):
+        report = analyze_dif_lazy(12, q, shoup=shoup)
+        assert report.ok
+        assert report.stage_bounds[-1] <= 2 * q - 1
+
+    @pytest.mark.parametrize("q,shoup", [(Q28, True), (Q31, False)])
+    def test_dit_lazy_clean(self, q, shoup):
+        report = analyze_dit_lazy(12, q, shoup=shoup)
+        assert report.ok
+        assert report.stage_bounds[-1] <= 2 * q - 1
+
+    def test_dit_unclamped_growth_is_exact(self):
+        log_n = 8
+        report = analyze_dit_unclamped(log_n, Q28)
+        assert report.ok
+        # +q per stage from a reduced entry: (s+2)*q - 1 after stage s.
+        for s, bound in enumerate(report.stage_bounds[1:]):
+            assert bound == (s + 2) * Q28 - 1
+        assert report.stage_bounds[-1] == (log_n + 1) * Q28 - 1
+        assert unclamped_dit_lane_bound(log_n, Q28) == (log_n + 1) * Q28 - 1
+
+    def test_batched_forward_output_reduced(self):
+        report = analyze_batched_forward(8, Q28)
+        assert report.ok
+        assert report.output_bound <= Q28 - 1
+
+
+class TestSeededMutations:
+    """Acceptance criterion: removing one conditional subtract from a
+    lazy plan must be reported as an overflow or range violation."""
+
+    def test_dropped_total_clamp_escapes_invariant(self):
+        report = analyze_dif_lazy(12, Q28, shoup=True,
+                                  skip_total_clamp=True)
+        assert not report.ok
+        assert any(f.rule in ("S001", "S003", "S004")
+                   for f in report.findings)
+
+    def test_dropped_diff_clamp_escapes_invariant(self):
+        report = analyze_dit_lazy(12, Q28, shoup=True,
+                                  skip_diff_clamp=True)
+        assert not report.ok
+
+    def test_dropped_clamp_at_wide_modulus_overflows_uint64(self):
+        # Without Shoup the unclamped growth eventually breaks the raw
+        # product bound, not just the declared lane invariant.
+        report = analyze_dif_lazy(16, Q31, shoup=False,
+                                  skip_total_clamp=True)
+        assert not report.ok
+
+    def test_shoup_rejects_wide_modulus(self):
+        report = analyze_dif_lazy(12, Q31, shoup=True)
+        assert not report.ok
+        assert any(f.rule == "S002" for f in report.findings)
+
+
+class TestGates:
+    def test_unclamped_gate_matches_exact_product(self):
+        for log_n in (6, 12, 16):
+            for q in (Q28, Q30, Q31):
+                exact = ((log_n + 1) * q - 1) * (q - 1) <= (1 << 64) - 1
+                assert unclamped_dit_ok(log_n, q) == exact, (log_n, q)
+
+    def test_refused_unclamped_plan_explains_itself(self):
+        assert not unclamped_dit_ok(6, Q31)
+        report = analyze_batched_inverse(6, Q31, unclamped=True)
+        assert not report.ok and report.findings.errors
+
+    def test_keyswitch_bound_is_exact(self):
+        d, q = 4, Q28
+        report = analyze_keyswitch_accumulate(d, q, lazy=True)
+        assert report.ok
+        assert report.output_bound <= q - 1
+        assert report.max_intermediate == d * (q - 1) ** 2
+        assert keyswitch_lazy_accumulate_ok(d, q)
