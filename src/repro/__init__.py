@@ -26,6 +26,14 @@ Subpackages
     A full RNS-CKKS library exercising the VPU with real FHE workloads.
 ``repro.accel``
     Multi-VPU accelerator top level (NoC + on-chip SRAM + scheduler).
+``repro.fault``
+    Fault injection and the runtime ABFT integrity layer: deterministic
+    bit-flip/stuck-at campaigns (``python -m repro.fault``), linear NTT
+    checksums, spare-modulus keyswitch verification, graceful
+    degradation.
+``repro.analysis``
+    Static bound/overflow verification and lint for the lazy-reduction
+    kernels (``fhecheck``).
 """
 
 __version__ = "0.1.0"

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 WORD_BYTES = 8
 
 
@@ -37,6 +39,21 @@ class DramModel:
 
     def energy_nj(self, bytes_moved: int) -> float:
         return bytes_moved * self.energy_pj_per_byte / 1e3
+
+    def transfer(self, buffer: np.ndarray,
+                 fault_hook=None) -> "tuple[np.ndarray, float]":
+        """Stream a uint64 buffer across the interface.
+
+        Returns the received copy and the transfer time in ns.  With a
+        fault hook the in-flight words are exposed to injection (site
+        ``"dram"``) — the model of an upset on the link or in a DRAM
+        row, which ECC on real HBM narrows but does not eliminate.
+        """
+        out = np.array(buffer, dtype=np.uint64)
+        ns = self.transfer_ns(out.size * WORD_BYTES)
+        if fault_hook is not None:
+            fault_hook.corrupt_buffer("dram", out)
+        return out, ns
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,13 @@ ciphertext polynomials: each limb's NTT/automorphism is independent.
 executes a batch of kernel instances across them, checking results stay
 bit-identical to single-VPU execution and reporting the makespan the
 scheduler predicts.
+
+The pool doubles as the integrity layer's multi-unit story: under a
+non-``OFF`` :class:`~repro.fault.policy.IntegrityPolicy` every limb's
+result is ABFT-verified per row, failing limbs replay on a *different*
+VPU (the redundant unit), persistently failing VPUs are quarantined out
+of the round-robin, and under ``DETECT_DEGRADE`` a limb whose replays
+are exhausted falls back to the numpy golden transform.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ import numpy as np
 
 from repro.core import VectorProcessingUnit
 from repro.core.isa import Program
+from repro.fault.integrity import AbftChecker
+from repro.fault.policy import IntegrityPolicy
 from repro.mapping import (
     compile_ntt,
     pack_for_ntt,
@@ -31,6 +40,10 @@ class ParallelRunReport:
 
     instances: int
     per_vpu_cycles: tuple[int, ...]
+    detections: int = 0
+    retries: int = 0
+    quarantined_vpus: tuple[int, ...] = ()
+    degraded: int = 0
 
     @property
     def makespan_cycles(self) -> int:
@@ -49,18 +62,47 @@ class ParallelRunReport:
 class ParallelVpuPool:
     """A pool of identical VPUs executing independent kernel instances."""
 
-    def __init__(self, num_vpus: int, m: int, q: int, memory_rows: int = 512):
+    def __init__(self, num_vpus: int, m: int, q: int, memory_rows: int = 512,
+                 policy: IntegrityPolicy | str = IntegrityPolicy.OFF,
+                 integrity_seed: int = 0, max_retries: int = 2):
         if num_vpus < 1:
             raise ValueError("need at least one VPU")
         self.num_vpus = num_vpus
         self.m = m
         self.q = q
+        self.policy = IntegrityPolicy.parse(policy)
+        self.max_retries = max_retries
+        #: VPU indices retired from scheduling after a failed replay.
+        self.quarantined: set[int] = set()
+        self._checker = (AbftChecker(integrity_seed)
+                         if self.policy is not IntegrityPolicy.OFF else None)
         self.vpus = [
             VectorProcessingUnit(m=m, q=q,
                                  regfile_entries=required_registers(m),
                                  memory_rows=memory_rows)
             for _ in range(num_vpus)
         ]
+
+    def _pick_vpu(self, idx: int, attempt: int) -> int:
+        """Round-robin over the healthy units; a retry (attempt > 0)
+        lands on a different VPU than the failing one whenever a second
+        healthy unit exists."""
+        healthy = [i for i in range(self.num_vpus) if i not in self.quarantined]
+        if not healthy:
+            healthy = list(range(self.num_vpus))  # nothing left: best effort
+        return healthy[(idx + attempt) % len(healthy)]
+
+    def _golden_row(self, data: np.ndarray, n: int) -> np.ndarray:
+        """Software fallback matching the compiled program's output
+        convention (natural-order plain cyclic NTT)."""
+        from repro.ntt.cooley_tukey import vec_ntt_dif
+        from repro.ntt.tables import get_tables
+
+        t = get_tables(n, self.q)
+        out = np.empty(n, dtype=np.uint64)
+        out[t.bitrev] = vec_ntt_dif(
+            np.asarray(data, dtype=np.uint64) % np.uint64(self.q), t)
+        return out
 
     def run_ntt_batch(self, limbs: np.ndarray, n: int) -> tuple[np.ndarray, ParallelRunReport]:
         """Transform a batch of length-``n`` vectors (one per RNS limb),
@@ -78,10 +120,36 @@ class ParallelVpuPool:
         rows = n // self.m
         outputs = np.empty_like(limbs)
         cycles = [0] * self.num_vpus
+        detections = 0
+        retries = 0
+        degraded = 0
         for idx, data in enumerate(limbs):
-            vpu = self.vpus[idx % self.num_vpus]
-            vpu.memory.data[:rows] = pack_for_ntt(data, self.m)
-            stats = vpu.run_fresh(program)
-            outputs[idx] = unpack_ntt_result(vpu.memory, n, self.m)
-            cycles[idx % self.num_vpus] += stats.cycles
-        return outputs, ParallelRunReport(len(limbs), tuple(cycles))
+            attempt = 0
+            while True:
+                which = self._pick_vpu(idx, attempt)
+                vpu = self.vpus[which]
+                vpu.memory.data[:rows] = pack_for_ntt(data, self.m)
+                stats = vpu.run_fresh(program)
+                out = unpack_ntt_result(vpu.memory, n, self.m)
+                cycles[which] += stats.cycles
+                if self._checker is None or self._checker.check_cyclic_ntt_row(
+                        data, out, self.q):
+                    outputs[idx] = out
+                    break
+                detections += 1
+                if (self.policy is IntegrityPolicy.DETECT
+                        or attempt >= self.max_retries):
+                    if (self.policy is IntegrityPolicy.DETECT_DEGRADE):
+                        outputs[idx] = self._golden_row(data, n)
+                        degraded += 1
+                    else:
+                        outputs[idx] = out  # flagged, surfaced as-is
+                    break
+                # Replay on a spare unit; retire the failing one so the
+                # round-robin stops feeding it work.
+                self.quarantined.add(which)
+                attempt += 1
+                retries += 1
+        return outputs, ParallelRunReport(
+            len(limbs), tuple(cycles), detections, retries,
+            tuple(sorted(self.quarantined)), degraded)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hwmodel.components import CostReport
 from repro.hwmodel.sram import SramMacro
 
@@ -35,6 +37,8 @@ class OnChipSram:
     words_per_bank_per_cycle: int = 64
     reads: int = field(default=0, init=False)
     writes: int = field(default=0, init=False)
+    #: Optional fault-injection hook (guard-checked no-op when None).
+    fault_hook: object = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0 or self.banks <= 0:
@@ -54,6 +58,19 @@ class OnChipSram:
         else:
             self.reads += words
         return -(-words // self.words_per_cycle)
+
+    def stage(self, buffer: np.ndarray,
+              write: bool = False) -> "tuple[np.ndarray, int]":
+        """Stage a uint64 buffer through the scratchpad: charges the
+        bandwidth model and exposes the resident words to the (optional)
+        fault hook — site ``"sram"``.  Returns the staged copy and the
+        access cycles."""
+        out = np.array(buffer, dtype=np.uint64)
+        cycles = self.access_cycles(out.size, write)
+        hook = self.fault_hook
+        if hook is not None:
+            hook.corrupt_buffer("sram", out)
+        return out, cycles
 
     def fits(self, words: int) -> bool:
         """Whether a working set of 64-bit words fits on chip."""

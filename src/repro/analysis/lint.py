@@ -25,6 +25,16 @@ fast paths silently go wrong:
     ``np.minimum`` conditional subtract afterwards, so a ``>= q`` (or
     ``>= 2q``) value may become architecturally visible.
 
+``FHC005`` **unguarded fault-hook dereference** — a method is invoked
+    on a fault-injection hook (``*fault_hook`` attributes/names, or
+    local aliases assigned from them, e.g.
+    ``hook = self.fault_hook`` / ``hook = current_fault_hook()``)
+    outside an ``if <hook> is not None`` guard.  Injection hooks must be
+    exact no-ops when disabled — one predictable branch, zero modeled
+    cycles — so every dereference needs the guard.  Calling the
+    installer/accessor functions themselves
+    (``install_fault_hook(...)``, ``current_fault_hook()``) is exempt.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -144,6 +154,41 @@ def _function_mentions_uint64(fn: ast.AST, source: str,
     return "uint64" in segment
 
 
+_HOOK_SUFFIX = "fault_hook"
+
+
+def _mentions_hook(node: ast.AST, aliases: set[str]) -> bool:
+    """Does the subtree reference a fault hook — a ``*fault_hook``
+    attribute/name (including the accessor functions) or a tracked
+    local alias?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and (sub.id.endswith(_HOOK_SUFFIX)
+                                          or sub.id in aliases):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr.endswith(_HOOK_SUFFIX):
+            return True
+    return False
+
+
+def _collect_hook_aliases(fn: ast.AST) -> set[str]:
+    """Names assigned (transitively) from a fault-hook expression, to a
+    fixed point: ``hook = self.fault_hook``, ``h = hook``, ..."""
+    aliases: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _mentions_hook(node.value, aliases):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in aliases:
+                    aliases.add(target.id)
+                    changed = True
+    return aliases
+
+
 class _Suppressions:
     def __init__(self, source: str):
         self.by_line: dict[int, set[str] | None] = {}
@@ -193,6 +238,7 @@ class _Linter(ast.NodeVisitor):
     def _visit_function(self, node: ast.AST) -> None:
         self._fn_stack.append(node)
         self._check_lazy_escape(node)
+        self._check_fault_hook_guards(node)
         self.generic_visit(node)
         self._fn_stack.pop()
 
@@ -290,6 +336,67 @@ class _Linter(ast.NodeVisitor):
                     "lazy/unclamped stage result is never clamped "
                     "(np.minimum) or reduced (%) afterwards — a >= q "
                     "value may escape this function")
+
+    # -- FHC005: unguarded fault-hook dereference --------------------------
+
+    def _check_fault_hook_guards(self, fn: ast.AST) -> None:
+        aliases = _collect_hook_aliases(fn)
+
+        def mentions(node: ast.AST) -> bool:
+            return _mentions_hook(node, aliases)
+
+        def scan(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)) and node is not fn:
+                return  # nested scopes get their own pass
+            if isinstance(node, (ast.If, ast.While)):
+                scan(node.test, guarded)
+                body_guarded = guarded or mentions(node.test)
+                for stmt in node.body:
+                    scan(stmt, body_guarded)
+                for stmt in node.orelse:
+                    scan(stmt, guarded)
+                return
+            if isinstance(node, ast.IfExp):
+                scan(node.test, guarded)
+                scan(node.body, guarded or mentions(node.test))
+                scan(node.orelse, guarded)
+                return
+            if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+                running = guarded
+                for value in node.values:
+                    scan(value, running)
+                    running = running or mentions(value)
+                return
+            if isinstance(node, ast.Call):
+                self._check_hook_call(node, aliases, guarded)
+            for child in ast.iter_child_nodes(node):
+                scan(child, guarded)
+
+        scan(fn, False)
+
+    def _check_hook_call(self, node: ast.Call, aliases: set[str],
+                         guarded: bool) -> None:
+        func = node.func
+        if not _mentions_hook(func, aliases):
+            return
+        # The install/accessor functions are not dereferences: calling
+        # install_fault_hook(x), vpu.install_fault_hook(...) or
+        # current_fault_hook() is how hooks are managed, and is legal
+        # unguarded.
+        if isinstance(func, ast.Name) and func.id.endswith(_HOOK_SUFFIX):
+            return
+        if isinstance(func, ast.Attribute) and \
+                func.attr.endswith(_HOOK_SUFFIX) and \
+                not _mentions_hook(func.value, aliases):
+            return
+        if guarded:
+            return
+        self._flag(
+            "FHC005", node,
+            "fault-hook dereference outside an `is not None` guard — "
+            "injection hooks must be no-ops when fault injection is "
+            "disabled (guard the call with `if <hook> is not None`)")
 
 
 def lint_source(source: str, filename: str = "<string>") -> list[Finding]:

@@ -69,6 +69,9 @@ class InterLaneNetwork:
             ShiftStage(m, 1 << b) for b in reversed(range(m.bit_length() - 1))
         ]
         self.passes = 0
+        #: Optional fault-injection hook (guard-checked: None costs one
+        #: branch per traversal and zero modeled cycles).
+        self.fault_hook = None
 
     @property
     def stage_count(self) -> int:
@@ -87,6 +90,11 @@ class InterLaneNetwork:
         x = np.asarray(x)
         if len(x) != self.m:
             raise ValueError(f"expected {self.m} lanes, got {len(x)}")
+        hook = self.fault_hook
+        if hook is not None:
+            # Control-word faults: CG activation lines and shift group
+            # bits are corrupted before they steer anything.
+            config = hook.filter_network_config(config, self.m)
         out = x
         # CG stages first (Fig. 2 order), at most one active.
         if config.cg == "dit":
@@ -97,9 +105,15 @@ class InterLaneNetwork:
         controls = config.shift or _identity_controls(self.m)
         if controls.m != self.m:
             raise ValueError(f"controls sized for m={controls.m}, need {self.m}")
-        for stage in self.shift_stages:
+        for index, stage in enumerate(self.shift_stages):
             b = stage.distance.bit_length() - 1
-            out = stage.apply(out, controls.group_bits[b])
+            if hook is not None:
+                # Raw mux-select faults sit below the co-controlled group
+                # bits and may break the routing bijection (MuxConflictError).
+                selects = stage.selects_from_group_bits(controls.group_bits[b])
+                out = stage.forward(out, hook.filter_mux_selects(index, selects))
+            else:
+                out = stage.apply(out, controls.group_bits[b])
         self.passes += 1
         return out
 

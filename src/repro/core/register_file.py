@@ -22,6 +22,9 @@ class RegisterFile:
         self.data = np.zeros((entries, m), dtype=np.uint64)
         self.reads = 0
         self.writes = 0
+        #: Optional fault-injection hook (guard-checked: None costs one
+        #: branch per read and zero modeled cycles).
+        self.fault_hook = None
 
     def _check(self, reg: int) -> None:
         if not 0 <= reg < self.entries:
@@ -31,7 +34,11 @@ class RegisterFile:
         """Read one register row (all lanes)."""
         self._check(reg)
         self.reads += 1
-        return self.data[reg].copy()
+        value = self.data[reg].copy()
+        hook = self.fault_hook
+        if hook is not None:
+            value = hook.filter_regfile_read(reg, value)
+        return value
 
     def write(self, reg: int, value: np.ndarray) -> None:
         """Write one register row (all lanes)."""

@@ -24,6 +24,16 @@ from repro.ntt.constant_geometry import (
 )
 
 
+class MuxConflictError(ValueError):
+    """A select pattern drives two sources onto one output lane.
+
+    Reachable only through fault injection on raw mux select lines —
+    legal control words are co-controlled per lane cycle and always
+    describe bijections.  Distinct from ``ValueError`` so fault
+    campaigns can classify it as a ``crash`` outcome.
+    """
+
+
 class _Stage:
     """Common mux-row machinery: a fixed remote-source wiring."""
 
@@ -51,7 +61,7 @@ class _Stage:
             raise ValueError(f"expected {self.m} selects, got {len(selects)}")
         src = np.where(selects, self.remote_source, np.arange(self.m))
         if len(np.unique(src)) != self.m:
-            raise ValueError(
+            raise MuxConflictError(
                 f"{self.name}: select pattern is not a bijection"
             )
         return x[src]

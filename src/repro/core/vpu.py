@@ -51,6 +51,8 @@ class VectorMemory:
         self.m = m
         self.rows = rows
         self.data = np.zeros((rows, m), dtype=np.uint64)
+        #: Optional fault-injection hook (guard-checked no-op when None).
+        self.fault_hook = None
 
     def load_vector(self, x: np.ndarray, base_row: int = 0) -> None:
         """Pack a flat length-``k*m`` vector into rows (row-major)."""
@@ -61,6 +63,15 @@ class VectorMemory:
         if base_row + k > self.rows:
             raise ValueError("vector does not fit in memory")
         self.data[base_row:base_row + k] = x.reshape(k, self.m)
+
+    def read_row(self, addr: int) -> np.ndarray:
+        """Read one row through the (optional) fault hook — the path
+        every ``Load`` instruction takes."""
+        value = self.data[addr].copy()
+        hook = self.fault_hook
+        if hook is not None:
+            value = hook.filter_memory_read(addr, value)
+        return value
 
     def read_vector(self, length: int, base_row: int = 0) -> np.ndarray:
         """Read back a flat vector of ``length`` elements."""
@@ -119,7 +130,26 @@ class VectorProcessingUnit:
         self.regfile = RegisterFile(m, regfile_entries)
         self.memory = VectorMemory(m, memory_rows)
         self.stats = ExecutionStats()
+        self.fault_hook = None
         self.set_modulus(q)
+
+    def install_fault_hook(self, hook) -> None:
+        """Attach a fault injector to every stateful component (None
+        detaches).  Dormant hooks are guard-checked (FHC005): disabled
+        injection costs one branch per touch point and zero modeled
+        cycles."""
+        self.fault_hook = hook
+        self.regfile.fault_hook = hook
+        self.memory.fault_hook = hook
+        self.network.fault_hook = hook
+
+    def resize_memory(self, rows: int) -> None:
+        """Replace the scratch memory with a larger one, preserving any
+        installed fault hook (callers used to swap ``self.memory`` raw,
+        silently dropping the hook)."""
+        memory = VectorMemory(self.m, rows)
+        memory.fault_hook = self.fault_hook
+        self.memory = memory
 
     def set_modulus(self, q: int) -> None:
         """Rebind the lanes' Barrett units to a new RNS modulus."""
@@ -134,25 +164,43 @@ class VectorProcessingUnit:
 
     def _mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         if self._vectorized:
-            return self.reducer.mul_vec(a, b)
-        return np.array([self.reducer.mul(int(x), int(y))
-                         for x, y in zip(a, b)], dtype=np.uint64)
+            out = self.reducer.mul_vec(a, b)
+        else:
+            out = np.array([self.reducer.mul(int(x), int(y))
+                            for x, y in zip(a, b)], dtype=np.uint64)
+        hook = self.fault_hook
+        if hook is not None:
+            out = hook.filter_alu("mul", out)
+        return out
 
     def _add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         q = np.uint64(self.q)
         t = a % q + b % q
-        return np.where(t >= q, t - q, t)
+        out = np.where(t >= q, t - q, t)
+        hook = self.fault_hook
+        if hook is not None:
+            out = hook.filter_alu("add", out)
+        return out
 
     def _sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         q = np.uint64(self.q)
-        return (a % q + (q - b % q)) % q
+        out = (a % q + (q - b % q)) % q
+        hook = self.fault_hook
+        if hook is not None:
+            out = hook.filter_alu("sub", out)
+        return out
 
     # -- execution ---------------------------------------------------------
 
     def execute(self, program: Program) -> ExecutionStats:
         """Run a program to completion, returning the run's stats."""
         run = ExecutionStats()
+        hook = self.fault_hook
         for instr in program:
+            if hook is not None:
+                # Advance the fault clock and land armed state upsets
+                # before the instruction issues.
+                hook.on_cycle(self)
             self._dispatch(instr)
             run.record(instr)
             self.stats.record(instr)
@@ -193,7 +241,7 @@ class VectorProcessingUnit:
                 rf.reads += 1
             rf.write(instr.dst, self.network.traverse(value, instr.config))
         elif isinstance(instr, Load):
-            rf.write(instr.dst, self.memory.data[instr.addr].copy())
+            rf.write(instr.dst, self.memory.read_row(instr.addr))
         elif isinstance(instr, Store):
             self.memory.data[instr.addr] = rf.read(instr.src)
         else:

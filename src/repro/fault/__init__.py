@@ -1,0 +1,49 @@
+"""Fault injection and runtime integrity (ABFT) for the behavioral model.
+
+* :mod:`repro.fault.injector` — deterministic fault specs and the
+  injection engine (register file, mux network, lane ALUs, SRAM/DRAM
+  words, keyswitch accumulators).
+* :mod:`repro.fault.integrity` — O(n) ABFT checks: random-combination
+  NTT checksums, exact automorphism replay, spare-modulus keyswitch
+  verification.
+* :mod:`repro.fault.policy` — the runtime response ladder (off /
+  detect / detect+retry / detect+degrade).
+* :mod:`repro.fault.report` — structured campaign results.
+* :mod:`repro.fault.campaign` / :mod:`repro.fault.cli` — seeded
+  site x kind x cycle x bit sweeps (``python -m repro.fault``); import
+  them directly, they are kept out of this namespace so the FHE backend
+  can import the leaf modules without a cycle.
+"""
+
+from repro.fault.injector import (
+    ALL_SITES,
+    BUFFER_SITES,
+    CORE_SITES,
+    KINDS,
+    FaultInjector,
+    FaultSpec,
+    current_fault_hook,
+    install_fault_hook,
+    use_fault_hook,
+)
+from repro.fault.integrity import SPARE_MODULUS, AbftChecker
+from repro.fault.policy import IntegrityPolicy
+from repro.fault.report import OUTCOMES, FaultEvent, FaultReport
+
+__all__ = [
+    "ALL_SITES",
+    "BUFFER_SITES",
+    "CORE_SITES",
+    "KINDS",
+    "OUTCOMES",
+    "SPARE_MODULUS",
+    "AbftChecker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "IntegrityPolicy",
+    "current_fault_hook",
+    "install_fault_hook",
+    "use_fault_hook",
+]

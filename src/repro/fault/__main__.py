@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.fault``."""
+
+from repro.fault.cli import main
+
+raise SystemExit(main())

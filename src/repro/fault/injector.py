@@ -1,0 +1,376 @@
+"""Deterministic fault injection into the behavioral model.
+
+The engine models the classic single-fault menagerie at the sites the
+paper's unified datapath actually exposes:
+
+========== ==================================================================
+site       what gets corrupted
+========== ==================================================================
+`regfile`  one register-file word (``core/register_file.py``) — state flips
+           hit the stored array directly, stuck/transient faults ride the
+           read port
+`network`  the mux network's control state (``core/network.py``): CG
+           activation lines, per-cycle shift group bits, or a *raw* mux
+           select line inside one shift stage (which may break the
+           co-control bijection — the model raises, i.e. the hardware
+           would drive two sources onto one lane)
+`alu`      one lane of a modmul/modadd/modsub result (``core/vpu.py``)
+`sram`     one scratchpad word — the VPU's :class:`VectorMemory` rows or
+           an :class:`~repro.accel.sram.OnChipSram` staging buffer
+`dram`     one in-flight word of an off-chip transfer
+           (``accel/dram.py``)
+`keyswitch` one word of the lazy keyswitch accumulator just before its
+           final reduction (``fhe/keyswitch.py``)
+========== ==================================================================
+
+Fault kinds: ``bitflip`` (a one-shot upset of *stored* state at an armed
+cycle), ``transient`` (one in-flight value corrupted at the first
+exposure after arming; for value sites ``bitflip`` behaves the same),
+``stuck0``/``stuck1`` (the bit is forced on every exposure from the
+armed cycle on).
+
+Hook contract (enforced by the FHC005 lint): production code touches a
+hook only through a guard — ``hook = <something>fault_hook`` followed by
+``if hook is not None: hook.method(...)`` — so disabled injection costs
+one predictable branch and **zero** modeled cycles.
+
+Everything is deterministic: a :class:`FaultSpec` fully describes one
+fault, and the injector keeps no hidden randomness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+SITE_REGFILE = "regfile"
+SITE_NETWORK = "network"
+SITE_ALU = "alu"
+SITE_SRAM = "sram"
+SITE_DRAM = "dram"
+SITE_KEYSWITCH = "keyswitch"
+
+#: The VPU-resident site classes a smoke campaign sweeps.
+CORE_SITES = (SITE_REGFILE, SITE_NETWORK, SITE_ALU, SITE_SRAM)
+#: Sites reached through buffer staging rather than the execute loop.
+BUFFER_SITES = (SITE_DRAM, SITE_KEYSWITCH)
+ALL_SITES = CORE_SITES + BUFFER_SITES
+
+KIND_BITFLIP = "bitflip"
+KIND_TRANSIENT = "transient"
+KIND_STUCK0 = "stuck0"
+KIND_STUCK1 = "stuck1"
+KINDS = (KIND_BITFLIP, KIND_TRANSIENT, KIND_STUCK0, KIND_STUCK1)
+
+#: Sites where ``bit`` indexes a 64-bit data word (network faults index
+#: control lines instead and may exceed 64).
+_WORD_SITES = (SITE_REGFILE, SITE_ALU, SITE_SRAM, SITE_DRAM, SITE_KEYSWITCH)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    ``cycle`` arms the fault: for VPU sites it counts issued
+    instructions; for buffer sites it counts staging operations on that
+    site.  ``word``/``lane`` address the target — for ``network`` faults
+    ``word == 0`` selects the flat control word (``bit`` 0 = CG-DIT
+    active, 1 = CG-DIF active, ``2..m`` = shift group bits largest
+    distance first) and ``word == 1 + s`` selects the raw mux select of
+    ``lane`` in shift stage ``s``.  Buffer sites use ``lane`` as a flat
+    word index into the staged array.
+    """
+
+    site: str
+    kind: str
+    cycle: int
+    bit: int
+    word: int = 0
+    lane: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.cycle < 0 or self.bit < 0 or self.word < 0 or self.lane < 0:
+            raise ValueError("cycle/bit/word/lane must be non-negative")
+        if self.site in _WORD_SITES and self.bit >= 64:
+            raise ValueError(f"bit {self.bit} out of the 64-bit word")
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "kind": self.kind, "cycle": self.cycle,
+                "bit": self.bit, "word": self.word, "lane": self.lane}
+
+
+def _apply_fault(value: np.uint64, kind: str, bit: int) -> np.uint64:
+    mask = np.uint64(1) << np.uint64(bit)
+    if kind in (KIND_BITFLIP, KIND_TRANSIENT):
+        return value ^ mask
+    if kind == KIND_STUCK0:
+        return value & ~mask
+    return value | mask
+
+
+@dataclass
+class _FaultState:
+    spec: FaultSpec
+    fired_cycle: int | None = None  # first cycle the fault changed anything
+    acknowledged: bool = False      # a detection has been credited
+
+
+class FaultInjector:
+    """Drives a set of :class:`FaultSpec` into a run.
+
+    One injector instance is one experiment: install it on a VPU
+    (``vpu.install_fault_hook``) and/or globally
+    (:func:`install_fault_hook`) for the buffer sites, run the workload,
+    then read ``fired``, ``exposures`` and ``detection_latencies``.
+    """
+
+    def __init__(self, specs: "tuple[FaultSpec, ...] | list[FaultSpec]" = ()):
+        self.specs = list(specs)
+        self._state = [_FaultState(spec) for spec in self.specs]
+        self.cycles = 0
+        self.exposures: dict[str, int] = {}
+        self._buffer_ops: dict[str, int] = {}
+        self.detection_latencies: list[int] = []
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def fired(self) -> list[FaultSpec]:
+        """Specs that actually changed state/data at least once."""
+        return [st.spec for st in self._state if st.fired_cycle is not None]
+
+    def _fire(self, st: _FaultState) -> None:
+        if st.fired_cycle is None:
+            st.fired_cycle = max(self.cycles - 1, 0)
+
+    def _armed(self, spec: FaultSpec) -> bool:
+        return self.cycles - 1 >= spec.cycle
+
+    # -- VPU execute-loop hooks ---------------------------------------------
+
+    def on_cycle(self, vpu) -> None:
+        """Called once per issued instruction, before dispatch.
+
+        Advances the fault clock and lands one-shot *state* bit-flips
+        (register file / scratchpad words) at their armed cycle.
+        """
+        cycle = self.cycles
+        self.cycles += 1
+        for st in self._state:
+            spec = st.spec
+            if st.fired_cycle is not None or cycle < spec.cycle:
+                continue
+            if spec.kind != KIND_BITFLIP or spec.site not in (SITE_REGFILE,
+                                                              SITE_SRAM):
+                continue
+            target = (vpu.regfile.data if spec.site == SITE_REGFILE
+                      else vpu.memory.data)
+            if spec.word < target.shape[0] and spec.lane < target.shape[1]:
+                target[spec.word, spec.lane] ^= (
+                    np.uint64(1) << np.uint64(spec.bit))
+                st.fired_cycle = cycle
+
+    def filter_regfile_read(self, reg: int, value: np.ndarray) -> np.ndarray:
+        self.exposures[SITE_REGFILE] = self.exposures.get(SITE_REGFILE, 0) + 1
+        return self._filter_word(SITE_REGFILE, reg, value)
+
+    def filter_memory_read(self, addr: int, value: np.ndarray) -> np.ndarray:
+        self.exposures[SITE_SRAM] = self.exposures.get(SITE_SRAM, 0) + 1
+        return self._filter_word(SITE_SRAM, addr, value)
+
+    def _filter_word(self, site: str, word: int,
+                     value: np.ndarray) -> np.ndarray:
+        for st in self._state:
+            spec = st.spec
+            if spec.site != site or spec.kind == KIND_BITFLIP:
+                continue
+            if not self._armed(spec) or spec.word != word:
+                continue
+            if spec.lane >= len(value):
+                continue
+            if spec.kind == KIND_TRANSIENT and st.fired_cycle is not None:
+                continue
+            new = _apply_fault(value[spec.lane], spec.kind, spec.bit)
+            if new != value[spec.lane]:
+                value[spec.lane] = new
+                self._fire(st)
+        return value
+
+    def filter_alu(self, op: str, value: np.ndarray) -> np.ndarray:
+        """Corrupt one lane of a modmul/modadd/modsub result."""
+        self.exposures[SITE_ALU] = self.exposures.get(SITE_ALU, 0) + 1
+        for st in self._state:
+            spec = st.spec
+            if spec.site != SITE_ALU or not self._armed(spec):
+                continue
+            if spec.lane >= len(value):
+                continue
+            if spec.kind in (KIND_BITFLIP, KIND_TRANSIENT) \
+                    and st.fired_cycle is not None:
+                continue
+            new = _apply_fault(value[spec.lane], spec.kind, spec.bit)
+            if new != value[spec.lane]:
+                value[spec.lane] = new
+                self._fire(st)
+        return value
+
+    # -- network control faults ---------------------------------------------
+
+    def filter_network_config(self, config, m: int):
+        """Corrupt the control word of one network traversal."""
+        self.exposures[SITE_NETWORK] = self.exposures.get(SITE_NETWORK, 0) + 1
+        for st in self._state:
+            spec = st.spec
+            if spec.site != SITE_NETWORK or spec.word != 0:
+                continue
+            if not self._armed(spec):
+                continue
+            if spec.kind in (KIND_BITFLIP, KIND_TRANSIENT) \
+                    and st.fired_cycle is not None:
+                continue
+            mutated = self._mutate_config(config, m, spec)
+            if mutated is not None:
+                config = mutated
+                self._fire(st)
+        return config
+
+    def filter_mux_selects(self, stage_index: int,
+                           selects: np.ndarray) -> np.ndarray:
+        """Corrupt a raw per-lane mux select inside one shift stage.
+
+        Unlike group-bit faults these are *not* co-controlled, so the
+        corrupted pattern may stop being a bijection — the stage raises
+        :class:`~repro.core.stages.MuxConflictError`, the model's analog
+        of two sources driving one output lane.
+        """
+        for st in self._state:
+            spec = st.spec
+            if spec.site != SITE_NETWORK or spec.word != stage_index + 1:
+                continue
+            if not self._armed(spec) or spec.lane >= len(selects):
+                continue
+            if spec.kind in (KIND_BITFLIP, KIND_TRANSIENT) \
+                    and st.fired_cycle is not None:
+                continue
+            current = bool(selects[spec.lane])
+            if spec.kind == KIND_STUCK0:
+                target = False
+            elif spec.kind == KIND_STUCK1:
+                target = True
+            else:
+                target = not current
+            if target != current:
+                selects = selects.copy()
+                selects[spec.lane] = target
+                self._fire(st)
+        return selects
+
+    def _mutate_config(self, config, m: int, spec: FaultSpec):
+        """Corrupted copy of a NetworkConfig, or None when the stuck
+        value agrees with the line (no observable change)."""
+        from dataclasses import replace
+
+        from repro.core.network import _identity_controls
+
+        force: bool | None = None
+        if spec.kind == KIND_STUCK0:
+            force = False
+        elif spec.kind == KIND_STUCK1:
+            force = True
+        if spec.bit in (0, 1):
+            which = "dit" if spec.bit == 0 else "dif"
+            active = config.cg == which
+            target = (not active) if force is None else force
+            if target == active:
+                return None
+            return replace(config, cg=which if target else None,
+                           cg_group_size=None)
+        flat = spec.bit - 2
+        controls = config.shift or _identity_controls(m)
+        groups = [list(g) for g in controls.group_bits]
+        # group_bits[b] holds the 2**b signals of the distance-2**b
+        # stage; the flat index walks them smallest-b first.
+        for b, group in enumerate(groups):
+            if flat < len(group):
+                current = bool(group[flat])
+                target = (not current) if force is None else force
+                if target == current:
+                    return None
+                group[flat] = int(target)
+                from repro.automorphism.controls import ShiftControls
+
+                shift = ShiftControls(m, tuple(tuple(g) for g in groups))
+                return replace(config, shift=shift)
+            flat -= len(group)
+        return None  # beyond the physical control word
+
+    # -- buffer staging faults -----------------------------------------------
+
+    def corrupt_buffer(self, site: str, buffer: np.ndarray) -> np.ndarray:
+        """Corrupt words of a staged buffer in place (sites ``dram``,
+        ``sram`` staging, ``keyswitch``); ``cycle`` counts the staging
+        operations seen on that site."""
+        ops = self._buffer_ops.get(site, 0)
+        self._buffer_ops[site] = ops + 1
+        self.exposures[site] = self.exposures.get(site, 0) + 1
+        flat = buffer.reshape(-1)
+        for st in self._state:
+            spec = st.spec
+            if spec.site != site or ops < spec.cycle:
+                continue
+            if spec.kind in (KIND_BITFLIP, KIND_TRANSIENT) \
+                    and st.fired_cycle is not None:
+                continue
+            if flat.size == 0:
+                continue
+            idx = spec.lane % flat.size
+            new = _apply_fault(flat[idx], spec.kind, spec.bit)
+            if new != flat[idx]:
+                flat[idx] = new
+                self._fire(st)
+        return buffer
+
+    # -- detection accounting -------------------------------------------------
+
+    def note_detection(self) -> None:
+        """Called by the integrity layer when a check fails: credits the
+        detection to every fired-but-unacknowledged fault and records
+        the detection latency in fault-clock cycles."""
+        for st in self._state:
+            if st.fired_cycle is not None and not st.acknowledged:
+                st.acknowledged = True
+                self.detection_latencies.append(
+                    max(self.cycles - st.fired_cycle, 0))
+
+
+_ACTIVE_INJECTOR: FaultInjector | None = None
+
+
+def install_fault_hook(hook: FaultInjector | None) -> FaultInjector | None:
+    """Install the process-global fault hook (used by the buffer sites
+    and the integrity layer); returns the previous one."""
+    global _ACTIVE_INJECTOR
+    previous = _ACTIVE_INJECTOR
+    _ACTIVE_INJECTOR = hook
+    return previous
+
+
+def current_fault_hook() -> FaultInjector | None:
+    """The process-global fault hook, or None when injection is off."""
+    return _ACTIVE_INJECTOR
+
+
+@contextmanager
+def use_fault_hook(hook: FaultInjector | None):
+    """Temporarily install the global fault hook."""
+    previous = install_fault_hook(hook)
+    try:
+        yield hook
+    finally:
+        install_fault_hook(previous)

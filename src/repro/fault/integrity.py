@@ -1,0 +1,151 @@
+"""ABFT checks: O(n) algorithm-based verification of kernel batches.
+
+**NTT batches.**  The negacyclic NTT is a linear map over ``Z_q``, so
+for batch rows ``x_r`` sharing a modulus ``q`` with outputs ``y_r`` and
+random nonzero coefficients ``c_r``:
+
+    ``sum_r c_r * y_r  ==  NTT(sum_r c_r * x_r)   (mod q)``
+
+The check folds a whole ``(L, n)`` batch into one combination row per
+distinct modulus (O(n) per row) plus **one** trusted golden transform
+per modulus — instead of re-running L transforms.  A single corrupted
+row is detected with certainty: ``q`` is prime and ``c_r != 0``, so a
+nonzero row error cannot cancel out of the combination.  Multi-row
+corruptions escape only if their weighted errors cancel exactly — a
+``~1/q`` coincidence against random coefficients.
+
+**Automorphism batches** are prime-independent permutations; the check
+recomputes the permutation scatter (cached index table) and compares
+exactly.
+
+**Keyswitch accumulation** uses a spare modulus (redundant residue):
+the lazy path's *unreduced* uint64 accumulator ``A = sum_i d_i * k_i``
+is exact (the bound analyzer gates the lazy path on it fitting uint64),
+so it must satisfy
+
+    ``A mod q_s  ==  sum_i (d_i mod q_s)(k_i mod q_s)   (mod q_s)``
+
+for the spare prime ``q_s < 2**20`` — an independent arithmetic channel
+whose products stay below 2**40 and cannot themselves overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.automorphism.mapping import galois_eval_permutation
+from repro.ntt.negacyclic import NegacyclicNtt
+
+#: Spare (redundant-residue) prime: small enough that the spare-channel
+#: products are exact in uint64, coprime to every chain prime.
+SPARE_MODULUS = 1_048_573
+
+
+def _combine_rows(rows: np.ndarray, idx: list[int], coeffs: np.ndarray,
+                  q: int) -> np.ndarray:
+    """``sum_r coeffs[r] * rows[idx[r]] mod q`` — O(n) per row."""
+    if q < (1 << 31):
+        qq = np.uint64(q)
+        acc = np.zeros(rows.shape[1], dtype=np.uint64)
+        for c, i in zip(coeffs, idx):
+            term = np.asarray(rows[i], dtype=np.uint64) % qq
+            acc = (acc + np.uint64(c) * term % qq) % qq
+        return acc
+    acc_obj = np.zeros(rows.shape[1], dtype=object)
+    for c, i in zip(coeffs, idx):
+        acc_obj = (acc_obj + int(c) * rows[i].astype(object)) % q
+    return acc_obj
+
+
+def _rows_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if getattr(a, "dtype", None) == object or \
+            getattr(b, "dtype", None) == object:
+        return all(int(x) == int(y) for x, y in zip(a, b))
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+class AbftChecker:
+    """Stateful checker: one seeded coefficient stream + check counters.
+
+    The coefficient stream is deterministic per seed, so a campaign with
+    a fixed seed produces byte-identical reports.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self.checks = 0
+        self.mismatches = 0
+
+    def _record(self, ok: bool) -> bool:
+        self.checks += 1
+        if not ok:
+            self.mismatches += 1
+        return ok
+
+    # -- NTT / automorphism batches ------------------------------------------
+
+    def check_ntt_batch(self, inputs: np.ndarray, outputs: np.ndarray,
+                        primes: tuple[int, ...],
+                        inverse: bool = False) -> bool:
+        """Verify a batched (inverse) negacyclic NTT via random
+        combinations, grouping rows that share a modulus."""
+        inputs = np.asarray(inputs)
+        outputs = np.asarray(outputs)
+        groups: dict[int, list[int]] = {}
+        for i, q in enumerate(primes):
+            groups.setdefault(int(q), []).append(i)
+        ok = True
+        for q in sorted(groups):
+            idx = groups[q]
+            coeffs = self._rng.integers(1, q, size=len(idx), dtype=np.uint64)
+            combo_in = _combine_rows(inputs, idx, coeffs, q)
+            combo_out = _combine_rows(outputs, idx, coeffs, q)
+            golden = NegacyclicNtt(inputs.shape[1], q)
+            ref = golden.inverse(combo_in) if inverse \
+                else golden.forward(combo_in)
+            ok = ok and _rows_equal(ref, combo_out)
+        return self._record(ok)
+
+    def check_automorphism_batch(self, inputs: np.ndarray,
+                                 outputs: np.ndarray,
+                                 galois_k: int) -> bool:
+        """Verify a batched Galois action by exact permutation replay
+        (the permutation is prime-independent and cached)."""
+        inputs = np.asarray(inputs)
+        perm = galois_eval_permutation(inputs.shape[1], galois_k)
+        expected = np.empty_like(inputs)
+        expected[:, perm.destinations()] = inputs
+        return self._record(bool(np.array_equal(expected,
+                                                np.asarray(outputs))))
+
+    def check_cyclic_ntt_row(self, x_row: np.ndarray, y_row: np.ndarray,
+                             q: int) -> bool:
+        """Verify one plain cyclic NTT row (natural order) as produced
+        by the multi-VPU pool's ``compile_ntt`` programs."""
+        from repro.ntt.cooley_tukey import vec_ntt_dif
+        from repro.ntt.tables import get_tables
+
+        qq = np.uint64(q)
+        c = np.uint64(int(self._rng.integers(1, q)))
+        t = get_tables(len(x_row), q)
+        combo_in = np.asarray(x_row, dtype=np.uint64) % qq * c % qq
+        ref = np.empty_like(combo_in)
+        ref[t.bitrev] = vec_ntt_dif(combo_in, t)
+        combo_out = np.asarray(y_row, dtype=np.uint64) % qq * c % qq
+        return self._record(bool(np.array_equal(ref, combo_out)))
+
+    # -- keyswitch spare-modulus check ----------------------------------------
+
+    def check_keyswitch_accumulation(self, acc_raw: np.ndarray,
+                                     digit_stack: np.ndarray,
+                                     key_stack: np.ndarray) -> bool:
+        """Spare-modulus verification of one lazy keyswitch accumulator.
+
+        ``acc_raw`` is the **unreduced** ``(L, n)`` uint64 accumulator
+        ``sum_i digit_i * key_i``; ``digit_stack``/``key_stack`` are the
+        ``(D, L, n)`` reduced operands it was accumulated from.
+        """
+        qs = np.uint64(SPARE_MODULUS)
+        spare = (digit_stack % qs) * (key_stack % qs) % qs
+        expected = spare.sum(axis=0, dtype=np.uint64) % qs
+        return self._record(bool(np.array_equal(acc_raw % qs, expected)))

@@ -1,0 +1,54 @@
+"""The integrity-policy ladder of the runtime ABFT layer.
+
+A policy decides what happens when an integrity check fails:
+
+* ``OFF`` — no checks at all.  The hot paths must be bit-identical to a
+  build without the integrity layer (enforced by tests and the FHC005
+  lint: dormant hooks are guard-checked no-ops).
+* ``DETECT`` — run the checks, count detections, but keep the (possibly
+  corrupted) result.  The caller reads the counters.
+* ``DETECT_RETRY`` — bounded replay: re-run the failed kernel up to
+  ``max_retries`` times (recompiling the cached program first, since the
+  program itself may be the poisoned artifact).
+* ``DETECT_DEGRADE`` — everything ``DETECT_RETRY`` does, then quarantine
+  the offending compiled program and walk down the degradation ladder:
+  inner backend -> clamped numpy batched path -> golden per-row path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IntegrityPolicy(enum.Enum):
+    """Response of the integrity layer to a failed runtime check."""
+
+    OFF = "off"
+    DETECT = "detect"
+    DETECT_RETRY = "detect-retry"
+    DETECT_DEGRADE = "detect-degrade"
+
+    @classmethod
+    def parse(cls, text: "str | IntegrityPolicy") -> "IntegrityPolicy":
+        """Accept enum values plus the CLI short forms ``retry``/``degrade``."""
+        if isinstance(text, cls):
+            return text
+        key = str(text).strip().lower()
+        aliases = {
+            "retry": cls.DETECT_RETRY,
+            "detect+retry": cls.DETECT_RETRY,
+            "degrade": cls.DETECT_DEGRADE,
+            "detect+degrade": cls.DETECT_DEGRADE,
+        }
+        if key in aliases:
+            return aliases[key]
+        try:
+            return cls(key)
+        except ValueError:
+            choices = [p.value for p in cls] + ["retry", "degrade"]
+            raise ValueError(
+                f"unknown integrity policy {text!r}; expected one of {choices}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.value

@@ -9,6 +9,11 @@ through the active backend:
   model (compiled ISA programs executed on the mux-level network), so a
   whole CKKS workload can be run "on the hardware" and checked
   bit-for-bit against the numpy path.
+* :class:`IntegrityBackend` — wraps either of the above with the ABFT
+  runtime integrity layer: O(n) linear checksums after every batched
+  kernel, policy-driven bounded replay, compiled-program quarantine and
+  graceful degradation down to the golden per-row path
+  (:mod:`repro.fault`).
 
 The unit of dispatch is the full ``(L, n)`` residue matrix of a
 double-CRT polynomial: the ``*_batch`` methods take every limb at once
@@ -29,6 +34,9 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.automorphism.mapping import galois_eval_permutation
+from repro.fault.injector import current_fault_hook
+from repro.fault.integrity import AbftChecker
+from repro.fault.policy import IntegrityPolicy
 from repro.ntt.negacyclic import NegacyclicNtt, get_batched_ntt
 
 _NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
@@ -42,9 +50,27 @@ def _ntt(n: int, q: int) -> NegacyclicNtt:
 
 
 class NumpyBackend:
-    """Vectorized numpy kernels (the default)."""
+    """Vectorized numpy kernels (the default).
+
+    ``mode`` selects the rung of the integrity layer's degradation
+    ladder this instance runs at:
+
+    * ``"fast"`` — the default: Shoup/unclamped batched stage kernels.
+    * ``"clamped"`` — batched, but every butterfly product strictly
+      reduced (no Shoup companions, no unclamped DIT).
+    * ``"golden"`` — per-row :class:`NegacyclicNtt` reference, the
+      slowest and simplest path.
+    """
 
     name = "numpy"
+    #: Class-level default so subclasses overriding __init__ (test
+    #: doubles that count kernel calls) inherit the fast path.
+    mode = "fast"
+
+    def __init__(self, mode: str = "fast"):
+        if mode not in ("fast", "clamped", "golden"):
+            raise ValueError(f"unknown NumpyBackend mode {mode!r}")
+        self.mode = mode
 
     def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
         """Negacyclic coefficients -> natural-order evaluation values."""
@@ -67,8 +93,10 @@ class NumpyBackend:
         """Forward-NTT every limb of an ``(L, n)`` residue matrix in one
         stacked dispatch (row ``i`` modulo ``primes[i]``)."""
         residues = np.asarray(residues)
-        if all(q < (1 << 31) for q in primes):
-            return get_batched_ntt(residues.shape[1], primes).forward(residues)
+        if self.mode != "golden" and all(q < (1 << 31) for q in primes):
+            ntt = get_batched_ntt(residues.shape[1], primes,
+                                  self.mode == "clamped")
+            return ntt.forward(residues)
         return np.stack([self.forward_ntt(residues[i], q)
                          for i, q in enumerate(primes)])
 
@@ -76,8 +104,10 @@ class NumpyBackend:
                           primes: tuple[int, ...]) -> np.ndarray:
         """Inverse-NTT every limb of an ``(L, n)`` value matrix at once."""
         values = np.asarray(values)
-        if all(q < (1 << 31) for q in primes):
-            return get_batched_ntt(values.shape[1], primes).inverse(values)
+        if self.mode != "golden" and all(q < (1 << 31) for q in primes):
+            ntt = get_batched_ntt(values.shape[1], primes,
+                                  self.mode == "clamped")
+            return ntt.inverse(values)
         return np.stack([self.inverse_ntt(values[i], q)
                          for i, q in enumerate(primes)])
 
@@ -90,6 +120,15 @@ class NumpyBackend:
         out = np.empty_like(values)
         out[:, perm.destinations()] = values
         return out
+
+
+class ProgramQuarantinedError(RuntimeError):
+    """A kernel resolved to a quarantined compiled program.
+
+    Raised by :meth:`VpuBackend._program` after the integrity layer
+    blacklisted the program (repeated checksum failures); callers are
+    expected to degrade to a software path rather than replay it.
+    """
 
 
 class VpuBackend:
@@ -128,14 +167,48 @@ class VpuBackend:
         #: (repro.analysis.program_check) before it enters the cache.
         self.verify_programs = verify_programs
         self._programs: dict[tuple, object] = {}
+        self._quarantined: set[tuple] = set()
+
+    @property
+    def vpu(self):
+        """The underlying behavioral VPU (fault hooks install here)."""
+        return self._vpu
 
     def _prepare(self, n: int, q: int):
-        from repro.core import VectorMemory
-
         self._vpu.set_modulus(q)
         needed = 2 * max(n // self.m, 2)
         if self._vpu.memory.rows < needed:
-            self._vpu.memory = VectorMemory(self.m, needed)
+            # resize_memory keeps any installed fault hook attached.
+            self._vpu.resize_memory(needed)
+
+    def _key(self, kind: str, n: int, q: int,
+             galois_k: int | None = None) -> tuple:
+        return (kind, n, self.m, None if kind == "auto" else q, galois_k)
+
+    def invalidate_program(self, kind: str, n: int, q: int,
+                           galois_k: int | None = None) -> bool:
+        """Drop one cached compiled program (recompiled on next use) —
+        the integrity layer's first response to a failed check, since
+        the cached artifact itself may be the poisoned state."""
+        return self._programs.pop(self._key(kind, n, q, galois_k),
+                                  None) is not None
+
+    def quarantine_program(self, kind: str, n: int, q: int,
+                           galois_k: int | None = None) -> None:
+        """Blacklist a compiled program: dropped now and refused later
+        (:class:`ProgramQuarantinedError`) until :meth:`clear_caches`."""
+        key = self._key(kind, n, q, galois_k)
+        self._programs.pop(key, None)
+        self._quarantined.add(key)
+
+    @property
+    def quarantined_programs(self) -> tuple[tuple, ...]:
+        return tuple(sorted(self._quarantined, key=repr))
+
+    def clear_caches(self) -> None:
+        """Forget every compiled program and lift all quarantines."""
+        self._programs.clear()
+        self._quarantined.clear()
 
     def _program(self, kind: str, n: int, q: int, galois_k: int | None = None):
         """Fetch (or compile once) the program for one kernel shape.
@@ -144,7 +217,11 @@ class VpuBackend:
         modulus — so their cache key drops ``q`` and one program serves
         every limb of a batch.
         """
-        key = (kind, n, self.m, None if kind == "auto" else q, galois_k)
+        key = self._key(kind, n, q, galois_k)
+        if key in self._quarantined:
+            raise ProgramQuarantinedError(
+                f"compiled program {key} is quarantined after detected "
+                f"corruption")
         prog = self._programs.get(key)
         if prog is None:
             from repro.mapping import compile_automorphism
@@ -241,12 +318,267 @@ class VpuBackend:
                          for i, q in enumerate(primes)])
 
 
-_ACTIVE: NumpyBackend | VpuBackend = NumpyBackend()
+class IntegrityBackend:
+    """The runtime ABFT integrity layer, wrapping any kernel backend.
+
+    Every batched kernel dispatch is verified after the fact with an
+    O(n) algorithm-based check (:class:`~repro.fault.integrity
+    .AbftChecker`): random-combination checksums for NTT batches, exact
+    permutation replay for automorphisms.  What happens on a failed
+    check is the :class:`~repro.fault.policy.IntegrityPolicy`:
+
+    * ``OFF`` — no checks, no staging copies: bit-identical dispatch
+      straight to the wrapped backend.
+    * ``DETECT`` — count and flag, keep the result.
+    * ``DETECT_RETRY`` — bounded replay (``max_retries``), invalidating
+      the wrapped backend's cached compiled program first.
+    * ``DETECT_DEGRADE`` — replay, then quarantine the compiled program
+      (after ``quarantine_threshold`` failures) and walk the ladder:
+      level 0 = wrapped backend, level 1 = clamped numpy batched path,
+      level 2 = golden per-row path.  Degraded levels bypass the
+      dram/sram staging models — the redundant re-read path.
+
+    Optional ``dram``/``sram`` models stage inputs through
+    :meth:`DramModel.transfer`/:meth:`OnChipSram.stage`, which is where
+    buffer-site fault injection lands; checksums are taken from the
+    *pristine* caller array (checksummed at the producer), so staging
+    corruption is detectable.
+    """
+
+    name = "integrity"
+
+    def __init__(self, inner=None,
+                 policy: IntegrityPolicy | str = IntegrityPolicy.DETECT_RETRY,
+                 *, seed: int = 0, max_retries: int = 2,
+                 quarantine_threshold: int = 2, dram=None, sram=None):
+        self.inner = NumpyBackend() if inner is None else inner
+        self.policy = IntegrityPolicy.parse(policy)
+        self.checker = AbftChecker(seed)
+        self.max_retries = max_retries
+        self.quarantine_threshold = quarantine_threshold
+        self.dram = dram
+        self.sram = sram
+        self.detections = 0
+        self.corrected = 0
+        self.retries = 0
+        self.flagged = 0
+        self.degrade_level = 0
+        self.degradations = 0
+        self.keyswitch_detections = 0
+        self.keyswitch_recomputed = 0
+        self.dram_ns = 0.0
+        self.sram_cycles = 0
+        self._failures: dict[tuple, int] = {}
+        self._clamped: NumpyBackend | None = None
+        self._golden: NumpyBackend | None = None
+
+    # -- degradation ladder ------------------------------------------------
+
+    def _level_backend(self, level: int):
+        if level == 0:
+            return self.inner
+        if level == 1:
+            if self._clamped is None:
+                self._clamped = NumpyBackend(mode="clamped")
+            return self._clamped
+        if self._golden is None:
+            self._golden = NumpyBackend(mode="golden")
+        return self._golden
+
+    def _degrade(self) -> None:
+        self.degrade_level = min(self.degrade_level + 1, 2)
+        self.degradations += 1
+
+    def _note_failure(self, key: tuple, primes: tuple[int, ...]) -> None:
+        """Failed-check bookkeeping against the wrapped backend's
+        compiled-program cache: invalidate on early failures, quarantine
+        (under DETECT_DEGRADE) once the threshold is reached."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        invalidate = getattr(self.inner, "invalidate_program", None)
+        if invalidate is None:
+            return
+        kind, n, _, galois_k = key
+        quarantine = (self.policy is IntegrityPolicy.DETECT_DEGRADE
+                      and count >= self.quarantine_threshold)
+        for q in sorted(set(primes)):
+            if quarantine:
+                self.inner.quarantine_program(kind, n, q, galois_k)
+            else:
+                invalidate(kind, n, q, galois_k)
+
+    # -- staging / dispatch -------------------------------------------------
+
+    def _stage_in(self, rows: np.ndarray) -> np.ndarray:
+        if rows.dtype == object:
+            return rows  # wide-modulus path: exact big ints, no staging
+        work = rows
+        if self.dram is not None:
+            work, ns = self.dram.transfer(work, current_fault_hook())
+            self.dram_ns += ns
+        if self.sram is not None:
+            work, cycles = self.sram.stage(work)
+            self.sram_cycles += cycles
+        return work
+
+    def _run(self, kind: str, rows: np.ndarray, primes: tuple[int, ...],
+             galois_k: int | None, level: int) -> np.ndarray:
+        backend = self._level_backend(level)
+        if kind == "ntt":
+            return backend.forward_ntt_batch(rows, primes)
+        if kind == "intt":
+            return backend.inverse_ntt_batch(rows, primes)
+        return backend.automorphism_eval_batch(rows, galois_k, primes)
+
+    def _verify(self, kind: str, inputs: np.ndarray, outputs: np.ndarray,
+                primes: tuple[int, ...], galois_k: int | None) -> bool:
+        if kind == "auto":
+            return self.checker.check_automorphism_batch(inputs, outputs,
+                                                         galois_k)
+        return self.checker.check_ntt_batch(inputs, outputs, primes,
+                                            inverse=kind == "intt")
+
+    def _dispatch(self, kind: str, rows: np.ndarray,
+                  primes: tuple[int, ...],
+                  galois_k: int | None = None) -> np.ndarray:
+        rows = np.asarray(rows)
+        if self.policy is IntegrityPolicy.OFF:
+            return self._run(kind, self._stage_in(rows), primes, galois_k, 0)
+        attempts = 0
+        key = (kind, rows.shape[1], primes, galois_k)
+        while True:
+            level = self.degrade_level
+            work = self._stage_in(rows) if level == 0 else rows
+            try:
+                out = self._run(kind, work, primes, galois_k, level)
+            except ProgramQuarantinedError:
+                self._degrade()
+                continue
+            if self._verify(kind, rows, out, primes, galois_k):
+                if attempts:
+                    self.corrected += 1
+                return out
+            self.detections += 1
+            hook = current_fault_hook()
+            if hook is not None:
+                hook.note_detection()
+            if self.policy is IntegrityPolicy.DETECT:
+                self.flagged += 1
+                return out
+            self._note_failure(key, primes)
+            if attempts < self.max_retries:
+                attempts += 1
+                self.retries += 1
+                continue
+            if (self.policy is IntegrityPolicy.DETECT_DEGRADE
+                    and self.degrade_level < 2):
+                self._degrade()
+                attempts = 0
+                continue
+            # Replay budget and ladder exhausted: surface the (flagged)
+            # result rather than loop forever against a persistent fault.
+            self.flagged += 1
+            return out
+
+    # -- the backend protocol ----------------------------------------------
+
+    def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
+        return self._dispatch("ntt", np.asarray(coeffs)[None, :], (q,))[0]
+
+    def inverse_ntt(self, values: np.ndarray, q: int) -> np.ndarray:
+        return self._dispatch("intt", np.asarray(values)[None, :], (q,))[0]
+
+    def automorphism_eval(self, values: np.ndarray, galois_k: int,
+                          q: int) -> np.ndarray:
+        return self._dispatch("auto", np.asarray(values)[None, :], (q,),
+                              galois_k)[0]
+
+    def forward_ntt_batch(self, residues: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        return self._dispatch("ntt", residues, tuple(primes))
+
+    def inverse_ntt_batch(self, values: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        return self._dispatch("intt", values, tuple(primes))
+
+    def automorphism_eval_batch(self, values: np.ndarray, galois_k: int,
+                                primes: tuple[int, ...]) -> np.ndarray:
+        return self._dispatch("auto", values, tuple(primes), galois_k)
+
+    # -- keyswitch spare-modulus channel ------------------------------------
+
+    def check_keyswitch_accumulation(self, acc_raw: np.ndarray,
+                                     digit_stack: np.ndarray,
+                                     key_stack: np.ndarray) -> bool:
+        """Verify one lazy keyswitch accumulator over the spare modulus.
+
+        Returns True to accept the accumulator as-is; False tells the
+        caller to recompute on the independent per-step reduced channel
+        (only under retry/degrade policies).
+        """
+        if self.policy is IntegrityPolicy.OFF:
+            return True
+        if self.checker.check_keyswitch_accumulation(acc_raw, digit_stack,
+                                                     key_stack):
+            return True
+        self.detections += 1
+        self.keyswitch_detections += 1
+        hook = current_fault_hook()
+        if hook is not None:
+            hook.note_detection()
+        if self.policy is IntegrityPolicy.DETECT:
+            self.flagged += 1
+            return True
+        self.keyswitch_recomputed += 1
+        return False
+
+    # -- reporting ----------------------------------------------------------
+
+    def integrity_counters(self) -> dict[str, int]:
+        """The structured counter block a :class:`~repro.fault.report
+        .FaultReport` aggregates per injection."""
+        return {
+            "checks": self.checker.checks,
+            "mismatches": self.checker.mismatches,
+            "detections": self.detections,
+            "corrected": self.corrected,
+            "retries": self.retries,
+            "flagged": self.flagged,
+            "degrade_level": self.degrade_level,
+            "degradations": self.degradations,
+            "keyswitch_detections": self.keyswitch_detections,
+            "keyswitch_recomputed": self.keyswitch_recomputed,
+        }
+
+    def clear_caches(self) -> None:
+        """Clear the wrapped backend's caches and the failure counts
+        (detection counters are the experiment record and survive)."""
+        inner_clear = getattr(self.inner, "clear_caches", None)
+        if inner_clear is not None:
+            inner_clear()
+        self._failures.clear()
+
+
+_ACTIVE: NumpyBackend | VpuBackend | IntegrityBackend = NumpyBackend()
 
 
 def get_backend():
     """The backend all FHE polynomial kernels currently use."""
     return _ACTIVE
+
+
+def clear_caches() -> None:
+    """Drop every kernel-level cache: the per-``(n, q)`` golden NTT
+    objects, the batched-NTT stacks, and the active backend's compiled
+    programs and quarantines.  Fault campaigns and tests call this
+    between runs so poisoned state cannot leak across experiments.
+    (Twiddle tables stay cached: they are pure functions of ``(n, q)``
+    that no injection site ever writes.)"""
+    _NTT_CACHE.clear()
+    get_batched_ntt.cache_clear()
+    clearer = getattr(_ACTIVE, "clear_caches", None)
+    if clearer is not None:
+        clearer()
 
 
 def set_backend(backend) -> None:

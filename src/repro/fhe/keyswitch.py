@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.analysis.bounds import keyswitch_lazy_accumulate_ok, mul_fits_uint64
 from repro.arith.modular import mod_inverse
+from repro.fault.injector import current_fault_hook
 from repro.fhe.backend import get_backend
 from repro.fhe.params import CkksParams
 from repro.fhe.polynomial import RnsPoly
@@ -187,6 +188,30 @@ def accumulate_keyswitch(
             # < q, so the uint64 addition transient stays below 2q.
             acc0 = (acc0 + digit.residues * b_i.residues[keep] % q_col) % q_col
             acc1 = (acc1 + digit.residues * a_i.residues[keep] % q_col) % q_col
+    if lazy:
+        hook = current_fault_hook()
+        if hook is not None:
+            # Expose the unreduced lazy accumulators to injection (site
+            # "keyswitch") before the spare-modulus verification runs.
+            hook.corrupt_buffer("keyswitch", acc0)
+            hook.corrupt_buffer("keyswitch", acc1)
+        check = getattr(get_backend(), "check_keyswitch_accumulation", None)
+        if check is not None:
+            # Spare-modulus (redundant-residue) verification: the exact
+            # uint64 accumulator must agree with the independent sum of
+            # spare-channel products.  A False verdict (retry/degrade
+            # policies) recomputes on the per-step reduced channel.
+            digit_stack = np.stack([d.residues for d in digits])
+            b_stack = np.stack([ksk.pairs[i][0].residues[keep]
+                                for i in range(len(digits))])
+            a_stack = np.stack([ksk.pairs[i][1].residues[keep]
+                                for i in range(len(digits))])
+            if not check(acc0, digit_stack, b_stack):
+                acc0 = (digit_stack * b_stack % q_col).sum(
+                    axis=0, dtype=np.uint64)
+            if not check(acc1, digit_stack, a_stack):
+                acc1 = (digit_stack * a_stack % q_col).sum(
+                    axis=0, dtype=np.uint64)
     acc0 %= q_col
     acc1 %= q_col
     if wide:

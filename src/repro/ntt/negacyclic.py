@@ -104,9 +104,14 @@ class BatchedNegacyclicNtt:
     below ``2**31`` (the repository's uint64 fast-path regime).
     """
 
-    def __init__(self, n: int, primes: tuple[int, ...]):
+    def __init__(self, n: int, primes: tuple[int, ...],
+                 clamped: bool = False):
         self.n = n
         self.primes = primes
+        #: Clamped mode disables the Shoup and unclamped-DIT fast paths,
+        #: so every butterfly product is strictly reduced — the integrity
+        #: layer's mid-ladder fallback when the fast paths are suspect.
+        self.clamped = clamped
         self.tables = [get_tables(n, q) for q in primes]
         for t in self.tables:
             if t.q >= (1 << 31):
@@ -126,7 +131,7 @@ class BatchedNegacyclicNtt:
         # Shoup companions make the forward butterfly and the psi folding
         # mod-free (q < 2**30, which every repository parameter set
         # satisfies).
-        if all(q < (1 << 30) for q in primes):
+        if not clamped and all(q < (1 << 30) for q in primes):
             self._dif_shoup = _stacked_stage_twiddles(self.tables, "dif_shoup")
             self._dit_shoup = _stacked_stage_twiddles(self.tables, "dit_shoup")
             self._psi_shoup = np.stack([
@@ -147,7 +152,8 @@ class BatchedNegacyclicNtt:
         # every intermediate — including the fused unfold product — fits
         # uint64 before the fast path is allowed.
         log_n = self.tables[0].log_n
-        self._dit_unclamped = unclamped_dit_ok(log_n, max(primes))
+        self._dit_unclamped = (not clamped) and unclamped_dit_ok(
+            log_n, max(primes))
         self._bitrev = self.tables[0].bitrev
 
     def forward(self, residues: np.ndarray) -> np.ndarray:
@@ -192,9 +198,11 @@ class BatchedNegacyclicNtt:
 
 
 @lru_cache(maxsize=128)
-def get_batched_ntt(n: int, primes: tuple[int, ...]) -> BatchedNegacyclicNtt:
-    """Cached :class:`BatchedNegacyclicNtt` per ``(n, primes)`` stack."""
-    return BatchedNegacyclicNtt(n, primes)
+def get_batched_ntt(n: int, primes: tuple[int, ...],
+                    clamped: bool = False) -> BatchedNegacyclicNtt:
+    """Cached :class:`BatchedNegacyclicNtt` per ``(n, primes, clamped)``
+    stack (``repro.fhe.backend.clear_caches`` drops the cache)."""
+    return BatchedNegacyclicNtt(n, primes, clamped)
 
 
 def negacyclic_poly_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

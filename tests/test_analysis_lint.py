@@ -95,6 +95,71 @@ class TestFHC004LazyEscape:
             """) == []
 
 
+class TestFHC005FaultHookGuard:
+    def test_flags_unguarded_attribute_dereference(self):
+        assert "FHC005" in _rules("""
+            def f(self, x):
+                return self.fault_hook.filter_alu("mul", x)
+            """)
+
+    def test_flags_unguarded_alias(self):
+        assert "FHC005" in _rules("""
+            def f(self, x):
+                hook = self.fault_hook
+                return hook.filter_alu("mul", x)
+            """)
+
+    def test_guarded_alias_exempts(self):
+        assert _rules("""
+            def f(self, x):
+                hook = self.fault_hook
+                if hook is not None:
+                    x = hook.filter_alu("mul", x)
+                return x
+            """) == []
+
+    def test_accessor_alias_guarded_exempts(self):
+        assert _rules("""
+            def f(acc):
+                hook = current_fault_hook()
+                if hook is not None:
+                    hook.corrupt_buffer("keyswitch", acc)
+                return acc
+            """) == []
+
+    def test_installer_and_accessor_calls_exempt(self):
+        assert _rules("""
+            def f(vpu, injector):
+                previous = install_fault_hook(injector)
+                vpu.install_fault_hook(injector)
+                install_fault_hook(previous)
+                return current_fault_hook()
+            """) == []
+
+    def test_boolop_and_guard_exempts(self):
+        assert _rules("""
+            def f(self, x):
+                hook = self.fault_hook
+                return hook is not None and hook.filter_alu("mul", x)
+            """) == []
+
+    def test_ifexp_guard_exempts(self):
+        assert _rules("""
+            def f(self, x):
+                hook = self.fault_hook
+                return hook.filter_alu("mul", x) if hook is not None else x
+            """) == []
+
+    def test_dereference_outside_the_guard_still_flagged(self):
+        assert "FHC005" in _rules("""
+            def f(self, x):
+                hook = self.fault_hook
+                if hook is not None:
+                    x = hook.filter_alu("mul", x)
+                return hook.filter_alu("add", x)
+            """)
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         assert _rules("""
