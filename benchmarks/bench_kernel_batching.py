@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import time
 from pathlib import Path
 
@@ -35,6 +34,7 @@ from repro.fhe.keyswitch import KeySwitchKey, apply_keyswitch
 from repro.fhe.params import CkksParams, small_params
 from repro.fhe.polynomial import RnsPoly
 from repro.ntt.tables import get_tables
+from repro.obs.export import host_envelope
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_kernels.json"
@@ -286,14 +286,8 @@ def main() -> None:
     sizes = [1024] if args.quick else [1024, 4096]
     levels = 4
 
-    results = {
-        "bench": "kernel_batching",
-        "quick": args.quick,
-        "host": {"machine": platform.machine(),
-                 "python": platform.python_version(),
-                 "numpy": np.__version__},
-        "ntt": {}, "automorphism": {},
-    }
+    results = host_envelope("kernel_batching")
+    results.update({"quick": args.quick, "ntt": {}, "automorphism": {}})
     for n in sizes:
         print(f"[ntt] n={n} ...")
         results["ntt"][str(n)] = bench_ntt(n, levels, repeats)

@@ -32,6 +32,7 @@ from repro.mapping import (
     required_registers,
     unpack_ntt_result,
 )
+from repro.obs import current_obs_hook
 
 
 @dataclass
@@ -57,6 +58,15 @@ class ParallelRunReport:
     def speedup(self) -> float:
         """Parallel speedup over a single VPU running everything."""
         return self.total_cycles / self.makespan_cycles if self.makespan_cycles else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's cycle budget (``num_vpus *
+        makespan``) spent doing work — ``speedup / num_vpus``.  Cycles
+        burned on a later-retired VPU still count as spent work: the
+        unit ran them before it was quarantined."""
+        budget = self.makespan_cycles * len(self.per_vpu_cycles)
+        return self.total_cycles / budget if budget else 1.0
 
 
 class ParallelVpuPool:
@@ -116,6 +126,10 @@ class ParallelVpuPool:
         limbs = np.asarray(limbs, dtype=np.uint64)
         if limbs.ndim != 2 or limbs.shape[1] != n:
             raise ValueError(f"expected (batch, {n}) input, got {limbs.shape}")
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("pool.run_ntt_batch", cat="pool", instances=len(limbs),
+                      n=n, num_vpus=self.num_vpus)
         program: Program = compile_ntt(n, self.m, self.q)
         rows = n // self.m
         outputs = np.empty_like(limbs)
@@ -150,6 +164,21 @@ class ParallelVpuPool:
                 self.quarantined.add(which)
                 attempt += 1
                 retries += 1
-        return outputs, ParallelRunReport(
+        report = ParallelRunReport(
             len(limbs), tuple(cycles), detections, retries,
             tuple(sorted(self.quarantined)), degraded)
+        if obs is not None:
+            # The pool's scheduling figures, scrapable per run.  The
+            # invariant the regression tests pin down: total_cycles sums
+            # *every* unit's cycles, retired ones included.
+            obs.gauge("pool.makespan_cycles", report.makespan_cycles)
+            obs.gauge("pool.total_cycles", report.total_cycles)
+            obs.gauge("pool.utilization", round(report.utilization, 6))
+            obs.gauge("pool.quarantined_vpus", len(self.quarantined))
+            obs.count("pool.instances", report.instances)
+            obs.count("pool.detections", detections)
+            obs.count("pool.retries", retries)
+            obs.count("pool.degraded", degraded)
+            obs.end(makespan_cycles=report.makespan_cycles,
+                    total_cycles=report.total_cycles)
+        return outputs, report

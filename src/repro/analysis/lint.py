@@ -35,6 +35,15 @@ fast paths silently go wrong:
     installer/accessor functions themselves
     (``install_fault_hook(...)``, ``current_fault_hook()``) is exempt.
 
+``FHC006`` **unguarded observability-hook dereference** — same contract
+    as FHC005 for the tracing/metrics hooks (``*obs_hook`` names and
+    aliases assigned from them, e.g. ``obs = current_obs_hook()``).
+    Observability must be an exact no-op when disabled — bit-identical
+    outputs, integer-identical modeled cycles — so every hook method
+    call needs an ``if <hook> is not None`` guard.  The accessor
+    functions (``install_obs_hook(...)``, ``current_obs_hook()``) are
+    exempt.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -154,25 +163,33 @@ def _function_mentions_uint64(fn: ast.AST, source: str,
     return "uint64" in segment
 
 
-_HOOK_SUFFIX = "fault_hook"
+#: The guarded no-op hook families this repo enforces.  Each row is
+#: (rule, name suffix, human label, what "disabled" means).  The same
+#: alias/guard machinery serves both: FHC005 covers the fault-injection
+#: hooks, FHC006 the observability hooks.
+_HOOK_RULES: tuple[tuple[str, str, str, str], ...] = (
+    ("FHC005", "fault_hook", "fault-hook", "fault injection"),
+    ("FHC006", "obs_hook", "observability-hook", "tracing"),
+)
 
 
-def _mentions_hook(node: ast.AST, aliases: set[str]) -> bool:
-    """Does the subtree reference a fault hook — a ``*fault_hook``
-    attribute/name (including the accessor functions) or a tracked
-    local alias?"""
+def _mentions_hook(node: ast.AST, aliases: set[str], suffix: str) -> bool:
+    """Does the subtree reference a hook of this family — a
+    ``*<suffix>`` attribute/name (including the accessor functions) or
+    a tracked local alias?"""
     for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and (sub.id.endswith(_HOOK_SUFFIX)
+        if isinstance(sub, ast.Name) and (sub.id.endswith(suffix)
                                           or sub.id in aliases):
             return True
-        if isinstance(sub, ast.Attribute) and sub.attr.endswith(_HOOK_SUFFIX):
+        if isinstance(sub, ast.Attribute) and sub.attr.endswith(suffix):
             return True
     return False
 
 
-def _collect_hook_aliases(fn: ast.AST) -> set[str]:
-    """Names assigned (transitively) from a fault-hook expression, to a
-    fixed point: ``hook = self.fault_hook``, ``h = hook``, ..."""
+def _collect_hook_aliases(fn: ast.AST, suffix: str) -> set[str]:
+    """Names assigned (transitively) from a hook expression, to a
+    fixed point: ``hook = self.fault_hook``, ``h = hook``,
+    ``obs = current_obs_hook()``, ..."""
     aliases: set[str] = set()
     changed = True
     while changed:
@@ -180,7 +197,7 @@ def _collect_hook_aliases(fn: ast.AST) -> set[str]:
         for node in ast.walk(fn):
             if not isinstance(node, ast.Assign):
                 continue
-            if not _mentions_hook(node.value, aliases):
+            if not _mentions_hook(node.value, aliases, suffix):
                 continue
             for target in node.targets:
                 if isinstance(target, ast.Name) and target.id not in aliases:
@@ -337,13 +354,18 @@ class _Linter(ast.NodeVisitor):
                     "(np.minimum) or reduced (%) afterwards — a >= q "
                     "value may escape this function")
 
-    # -- FHC005: unguarded fault-hook dereference --------------------------
+    # -- FHC005/FHC006: unguarded hook dereference -------------------------
 
     def _check_fault_hook_guards(self, fn: ast.AST) -> None:
-        aliases = _collect_hook_aliases(fn)
+        for rule, suffix, label, disabled in _HOOK_RULES:
+            self._check_hook_guards(fn, rule, suffix, label, disabled)
+
+    def _check_hook_guards(self, fn: ast.AST, rule: str, suffix: str,
+                           label: str, disabled: str) -> None:
+        aliases = _collect_hook_aliases(fn, suffix)
 
         def mentions(node: ast.AST) -> bool:
-            return _mentions_hook(node, aliases)
+            return _mentions_hook(node, aliases, suffix)
 
         def scan(node: ast.AST, guarded: bool) -> None:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -369,34 +391,36 @@ class _Linter(ast.NodeVisitor):
                     running = running or mentions(value)
                 return
             if isinstance(node, ast.Call):
-                self._check_hook_call(node, aliases, guarded)
+                self._check_hook_call(node, aliases, guarded,
+                                      rule, suffix, label, disabled)
             for child in ast.iter_child_nodes(node):
                 scan(child, guarded)
 
         scan(fn, False)
 
     def _check_hook_call(self, node: ast.Call, aliases: set[str],
-                         guarded: bool) -> None:
+                         guarded: bool, rule: str, suffix: str,
+                         label: str, disabled: str) -> None:
         func = node.func
-        if not _mentions_hook(func, aliases):
+        if not _mentions_hook(func, aliases, suffix):
             return
         # The install/accessor functions are not dereferences: calling
-        # install_fault_hook(x), vpu.install_fault_hook(...) or
-        # current_fault_hook() is how hooks are managed, and is legal
-        # unguarded.
-        if isinstance(func, ast.Name) and func.id.endswith(_HOOK_SUFFIX):
+        # install_fault_hook(x), vpu.install_fault_hook(...),
+        # current_fault_hook() or current_obs_hook() is how hooks are
+        # managed, and is legal unguarded.
+        if isinstance(func, ast.Name) and func.id.endswith(suffix):
             return
         if isinstance(func, ast.Attribute) and \
-                func.attr.endswith(_HOOK_SUFFIX) and \
-                not _mentions_hook(func.value, aliases):
+                func.attr.endswith(suffix) and \
+                not _mentions_hook(func.value, aliases, suffix):
             return
         if guarded:
             return
         self._flag(
-            "FHC005", node,
-            "fault-hook dereference outside an `is not None` guard — "
-            "injection hooks must be no-ops when fault injection is "
-            "disabled (guard the call with `if <hook> is not None`)")
+            rule, node,
+            f"{label} dereference outside an `is not None` guard — "
+            f"these hooks must be no-ops when {disabled} is "
+            f"disabled (guard the call with `if <hook> is not None`)")
 
 
 def lint_source(source: str, filename: str = "<string>") -> list[Finding]:

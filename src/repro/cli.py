@@ -232,8 +232,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import enable_from_env
+    from repro.obs.export import format_attribution
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # REPRO_TRACE=1 turns on the observability hook for any command and
+    # appends the per-phase cycle-attribution table to the output.
+    observer = enable_from_env()
+    status = args.func(args)
+    if observer is not None:
+        print("\n[repro.obs] cycle attribution (REPRO_TRACE)")
+        print(format_attribution(observer.tracer))
+    return status
 
 
 if __name__ == "__main__":

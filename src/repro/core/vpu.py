@@ -39,6 +39,7 @@ from repro.core.isa import (
 )
 from repro.core.network import InterLaneNetwork, NetworkConfig
 from repro.core.register_file import RegisterFile
+from repro.obs import current_obs_hook
 
 
 class VectorMemory:
@@ -196,6 +197,10 @@ class VectorProcessingUnit:
         """Run a program to completion, returning the run's stats."""
         run = ExecutionStats()
         hook = self.fault_hook
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.execute", cat="vpu", m=self.m, q=self.q,
+                      instructions=len(program))
         for instr in program:
             if hook is not None:
                 # Advance the fault clock and land armed state upsets
@@ -204,6 +209,15 @@ class VectorProcessingUnit:
             self._dispatch(instr)
             run.record(instr)
             self.stats.record(instr)
+        if obs is not None:
+            # Model cycles land on this span (the innermost open one),
+            # so every architectural cycle is attributed exactly once.
+            obs.add_cycles(run.cycles)
+            obs.count("vpu.executions")
+            obs.count("vpu.cycles", run.cycles)
+            obs.count("vpu.network_passes", run.network_passes)
+            obs.end(cycles=run.cycles,
+                    utilization=round(run.compute_utilization(), 4))
         return run
 
     def _dispatch(self, instr: Instruction) -> None:

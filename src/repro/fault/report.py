@@ -94,9 +94,12 @@ class FaultReport:
         return 1.0 if live == 0 else detected / live
 
     def to_dict(self) -> dict:
+        from repro.obs.export import host_envelope
+
         latencies = sorted(event.detection_latency for event in self.events
                            if event.detection_latency is not None)
-        return {
+        out = host_envelope("faults")
+        out.update({
             "workload": self.workload,
             "policy": self.policy,
             "seed": self.seed,
@@ -118,7 +121,8 @@ class FaultReport:
             "degradations": sum(1 for event in self.events
                                 if event.degrade_level > 0),
             "events": [event.to_dict() for event in self.events],
-        }
+        })
+        return out
 
     def to_json(self) -> str:
         """Deterministic JSON: byte-identical for equal campaign seeds."""

@@ -38,6 +38,7 @@ from repro.fault.injector import current_fault_hook
 from repro.fault.integrity import AbftChecker
 from repro.fault.policy import IntegrityPolicy
 from repro.ntt.negacyclic import NegacyclicNtt, get_batched_ntt
+from repro.obs import current_obs_hook
 
 _NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
 
@@ -160,6 +161,12 @@ class VpuBackend:
         self.kernel_invocations = 0
         self.program_compilations = 0
         self.programs_verified = 0
+        #: Compiled-program cache hit/miss counters.  Unlike
+        #: ``program_compilations`` (the lifetime experiment record)
+        #: these reset with :meth:`clear_caches`, tracking the cache
+        #: *instance* — the figures the metrics registry mirrors.
+        self.program_cache_hits = 0
+        self.program_cache_misses = 0
         if verify_programs is None:
             import os
             verify_programs = bool(os.environ.get("REPRO_VERIFY_PROGRAMS"))
@@ -206,9 +213,24 @@ class VpuBackend:
         return tuple(sorted(self._quarantined, key=repr))
 
     def clear_caches(self) -> None:
-        """Forget every compiled program and lift all quarantines."""
+        """Forget every compiled program, lift all quarantines, and
+        zero the cache hit/miss counters (a fresh cache instance)."""
         self._programs.clear()
         self._quarantined.clear()
+        self.program_cache_hits = 0
+        self.program_cache_misses = 0
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("backend.program_cache.clears")
+            self._publish_cache_metrics(obs)
+
+    def _publish_cache_metrics(self, obs) -> None:
+        """Mirror the cache/quarantine state into the metrics registry
+        (only ever called through a guarded obs hook)."""
+        obs.gauge("backend.program_cache.hits", self.program_cache_hits)
+        obs.gauge("backend.program_cache.misses", self.program_cache_misses)
+        obs.gauge("backend.program_cache.size", len(self._programs))
+        obs.gauge("backend.quarantined_programs", len(self._quarantined))
 
     def _program(self, kind: str, n: int, q: int, galois_k: int | None = None):
         """Fetch (or compile once) the program for one kernel shape.
@@ -218,11 +240,21 @@ class VpuBackend:
         every limb of a batch.
         """
         key = self._key(kind, n, q, galois_k)
+        obs = current_obs_hook()
         if key in self._quarantined:
+            if obs is not None:
+                obs.count("backend.program_cache.quarantine_refusals")
             raise ProgramQuarantinedError(
                 f"compiled program {key} is quarantined after detected "
                 f"corruption")
         prog = self._programs.get(key)
+        if prog is not None:
+            self.program_cache_hits += 1
+        else:
+            self.program_cache_misses += 1
+        if obs is not None:
+            obs.count("backend.program_cache.hit" if prog is not None
+                      else "backend.program_cache.miss")
         if prog is None:
             from repro.mapping import compile_automorphism
             from repro.mapping.ntt import (
@@ -248,18 +280,26 @@ class VpuBackend:
                 self.programs_verified += 1
             self.program_compilations += 1
             self._programs[key] = prog
+        if obs is not None:
+            self._publish_cache_metrics(obs)
         return prog
 
     def forward_ntt(self, coeffs: np.ndarray, q: int) -> np.ndarray:
         from repro.mapping import pack_for_ntt, unpack_ntt_result
 
         n = len(coeffs)
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.kernel.ntt", cat="kernel", n=n, q=q)
         self._prepare(n, q)
         self._vpu.memory.data[:n // self.m] = pack_for_ntt(
             np.asarray(coeffs, dtype=np.uint64), self.m)
         # psi-folding runs on the VPU too (element-wise twiddle mode).
         self._vpu.execute(self._program("ntt", n, q))
         self.kernel_invocations += 1
+        if obs is not None:
+            obs.count("backend.kernels.ntt")
+            obs.end()
         # Natural-order negacyclic values, matching NegacyclicNtt.forward.
         return unpack_ntt_result(self._vpu.memory, n, self.m)
 
@@ -267,11 +307,17 @@ class VpuBackend:
         from repro.mapping import pack_ntt_values
 
         n = len(values)
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.kernel.intt", cat="kernel", n=n, q=q)
         self._prepare(n, q)
         self._vpu.memory.data[:n // self.m] = pack_ntt_values(
             np.asarray(values, dtype=np.uint64), self.m)
         self._vpu.execute(self._program("intt", n, q))
         self.kernel_invocations += 1
+        if obs is not None:
+            obs.count("backend.kernels.intt")
+            obs.end()
         rows = self._vpu.memory.data[:n // self.m]
         return rows.T.reshape(-1).copy()  # undo pack_for_ntt layout
 
@@ -283,12 +329,19 @@ class VpuBackend:
         )
 
         n = len(values)
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.kernel.auto", cat="kernel", n=n, q=q,
+                      galois_k=galois_k)
         self._prepare(n, q)
         cols = n // self.m
         self._vpu.memory.data[:cols] = automorphism_layout_pack(
             np.asarray(values, dtype=np.uint64), self.m)
         self._vpu.execute(self._program("auto", n, q, galois_k))
         self.kernel_invocations += 1
+        if obs is not None:
+            obs.count("backend.kernels.auto")
+            obs.end()
         return automorphism_layout_unpack(self._vpu.memory, n, self.m,
                                           base_row=cols)
 
@@ -302,20 +355,41 @@ class VpuBackend:
     def forward_ntt_batch(self, residues: np.ndarray,
                           primes: tuple[int, ...]) -> np.ndarray:
         residues = np.asarray(residues)
-        return np.stack([self.forward_ntt(residues[i], q)
-                         for i, q in enumerate(primes)])
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.batch.ntt", cat="kernel", limbs=len(primes),
+                      n=residues.shape[1])
+        out = np.stack([self.forward_ntt(residues[i], q)
+                        for i, q in enumerate(primes)])
+        if obs is not None:
+            obs.end()
+        return out
 
     def inverse_ntt_batch(self, values: np.ndarray,
                           primes: tuple[int, ...]) -> np.ndarray:
         values = np.asarray(values)
-        return np.stack([self.inverse_ntt(values[i], q)
-                         for i, q in enumerate(primes)])
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.batch.intt", cat="kernel", limbs=len(primes),
+                      n=values.shape[1])
+        out = np.stack([self.inverse_ntt(values[i], q)
+                        for i, q in enumerate(primes)])
+        if obs is not None:
+            obs.end()
+        return out
 
     def automorphism_eval_batch(self, values: np.ndarray, galois_k: int,
                                 primes: tuple[int, ...]) -> np.ndarray:
         values = np.asarray(values)
-        return np.stack([self.automorphism_eval(values[i], galois_k, q)
-                         for i, q in enumerate(primes)])
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.begin("vpu.batch.auto", cat="kernel", limbs=len(primes),
+                      n=values.shape[1], galois_k=galois_k)
+        out = np.stack([self.automorphism_eval(values[i], galois_k, q)
+                        for i, q in enumerate(primes)])
+        if obs is not None:
+            obs.end()
+        return out
 
 
 class IntegrityBackend:
@@ -388,6 +462,10 @@ class IntegrityBackend:
     def _degrade(self) -> None:
         self.degrade_level = min(self.degrade_level + 1, 2)
         self.degradations += 1
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("integrity.degradations")
+            obs.gauge("integrity.degrade_level", self.degrade_level)
 
     def _note_failure(self, key: tuple, primes: tuple[int, ...]) -> None:
         """Failed-check bookkeeping against the wrapped backend's
@@ -454,21 +532,30 @@ class IntegrityBackend:
             except ProgramQuarantinedError:
                 self._degrade()
                 continue
+            obs = current_obs_hook()
             if self._verify(kind, rows, out, primes, galois_k):
                 if attempts:
                     self.corrected += 1
+                    if obs is not None:
+                        obs.count("integrity.corrected")
                 return out
             self.detections += 1
+            if obs is not None:
+                obs.count("integrity.detections")
             hook = current_fault_hook()
             if hook is not None:
                 hook.note_detection()
             if self.policy is IntegrityPolicy.DETECT:
                 self.flagged += 1
+                if obs is not None:
+                    obs.count("integrity.flagged")
                 return out
             self._note_failure(key, primes)
             if attempts < self.max_retries:
                 attempts += 1
                 self.retries += 1
+                if obs is not None:
+                    obs.count("integrity.retries")
                 continue
             if (self.policy is IntegrityPolicy.DETECT_DEGRADE
                     and self.degrade_level < 2):
@@ -523,13 +610,21 @@ class IntegrityBackend:
             return True
         self.detections += 1
         self.keyswitch_detections += 1
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("integrity.detections")
+            obs.count("integrity.keyswitch_detections")
         hook = current_fault_hook()
         if hook is not None:
             hook.note_detection()
         if self.policy is IntegrityPolicy.DETECT:
             self.flagged += 1
+            if obs is not None:
+                obs.count("integrity.flagged")
             return True
         self.keyswitch_recomputed += 1
+        if obs is not None:
+            obs.count("integrity.keyswitch_recomputed")
         return False
 
     # -- reporting ----------------------------------------------------------

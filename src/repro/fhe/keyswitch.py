@@ -33,6 +33,7 @@ from repro.arith.modular import mod_inverse
 from repro.fault.injector import current_fault_hook
 from repro.fhe.backend import get_backend
 from repro.fhe.params import CkksParams
+from repro.obs import CAT_PHASE, current_obs_hook
 from repro.fhe.polynomial import RnsPoly
 from repro.fhe.rns import RnsBasis, get_basis
 from repro.fhe.sampling import sample_gaussian, sample_uniform_poly
@@ -104,6 +105,12 @@ def decompose_digits(x: RnsPoly, params: CkksParams) -> list[RnsPoly]:
     batch — the NTT batch the accelerator speeds up, dispatched as one
     unit instead of one call per residue row.
     """
+    obs = current_obs_hook()
+    if obs is not None:
+        # Phase 1 of the §II-A keyswitch: digit extraction (the inverse
+        # NTT back to coefficients plus the centered-lift broadcast).
+        obs.begin("keyswitch.decompose", cat=CAT_PHASE,
+                  limbs=x.num_limbs, n=x.n)
     coeff = x.to_coeff()
     level_primes = x.primes
     target = level_primes + (params.special_prime,)
@@ -139,8 +146,15 @@ def decompose_digits(x: RnsPoly, params: CkksParams) -> list[RnsPoly]:
             (centered[i] % np.int64(target[j])).astype(np.uint64)
             for i, j in off_diag
         ])
+    if obs is not None:
+        obs.end()
+        # Phase 2: the digit NTT batch — all L*(L+1) off-diagonal rows
+        # in one dispatch, the batch the accelerator accelerates.
+        obs.begin("keyswitch.ntt", cat=CAT_PHASE, rows=len(off_diag))
     batch = get_backend().forward_ntt_batch(
         rows, tuple(target[j] for _, j in off_diag))
+    if obs is not None:
+        obs.end()
     for r, (i, j) in enumerate(off_diag):
         evals[i, j] = batch[r]
     return [RnsPoly(evals[i], target, is_eval=True) for i in range(lcount)]
@@ -164,6 +178,12 @@ def accumulate_keyswitch(
     product would wrap).  ``keep`` selects the key limbs matching the
     digits' basis (level prefix plus special prime).
     """
+    obs = current_obs_hook()
+    if obs is not None:
+        # Phase 3: the per-digit inner product (element-wise MACs over
+        # the (L+1, n) residue matrices, lazily reduced when provable).
+        obs.begin("keyswitch.inner_product", cat=CAT_PHASE,
+                  digits=len(digits))
     q_col = np.array(primes, dtype=np.uint64)[:, None]
     maxq = max(primes)
     lazy = keyswitch_lazy_accumulate_ok(len(digits), maxq)
@@ -218,6 +238,8 @@ def accumulate_keyswitch(
         # fhecheck: ok=FHC001 — reduced residues < q < 2**62 fit uint64
         acc0 = acc0.astype(np.uint64)
         acc1 = acc1.astype(np.uint64)
+    if obs is not None:
+        obs.end(lazy=lazy)
     return (RnsPoly(acc0, primes, is_eval=True),
             RnsPoly(acc1, primes, is_eval=True))
 
@@ -294,7 +316,15 @@ def mod_down(t: RnsPoly, basis: RnsBasis,
     if t.primes[-1] != basis.special_prime:
         raise ValueError("mod_down expects the special prime as last limb")
     inv_table = basis.special_inv_mod_chain[:t.num_limbs - 1]
-    return _divide_by_top_limb(t, inv_table, plaintext_modulus)
+    obs = current_obs_hook()
+    if obs is not None:
+        # Phase 4: ModDown by the special prime (inverse NTT, rounding
+        # division, forward NTT back to the evaluation domain).
+        obs.begin("keyswitch.mod_down", cat=CAT_PHASE, limbs=t.num_limbs)
+    out = _divide_by_top_limb(t, inv_table, plaintext_modulus)
+    if obs is not None:
+        obs.end()
+    return out
 
 
 def rescale(poly: RnsPoly, basis: RnsBasis) -> RnsPoly:
@@ -307,7 +337,13 @@ def rescale(poly: RnsPoly, basis: RnsBasis) -> RnsPoly:
         raise ValueError("cannot rescale below one limb")
     q_top = poly.primes[poly.num_limbs - 1]
     inv_table = basis.prime_inv_mod_others(basis.primes.index(q_top))
-    return _divide_by_top_limb(poly, inv_table)
+    obs = current_obs_hook()
+    if obs is not None:
+        obs.begin("ckks.rescale", cat=CAT_PHASE, limbs=poly.num_limbs)
+    out = _divide_by_top_limb(poly, inv_table)
+    if obs is not None:
+        obs.end()
+    return out
 
 
 def mod_switch_exact(poly: RnsPoly, basis: RnsBasis,

@@ -1,0 +1,138 @@
+"""``repro.obs`` — unified tracing, metrics, and cycle attribution.
+
+The paper's claims are accounting claims: cycles, SRAM/DRAM traffic,
+and component utilization.  This package makes the model's accounting
+*inspectable*: a hierarchical span tracer and a metrics registry ride a
+single process-global hook threaded through ``VectorProcessingUnit``
+execution, the ``VpuBackend`` kernel entry points, SRAM/DRAM staging,
+``ParallelVpuPool`` scheduling, the integrity layer, and the keyswitch
+phases — and three exporters turn one run into a Perfetto-loadable
+Chrome trace, a JSON metrics snapshot, and a per-phase
+cycle-attribution table (:mod:`repro.obs.export`,
+``python -m repro.obs``).
+
+Hook contract (the overhead-neutrality guarantee, mirroring the fault
+layer's FHC005): production code touches the hook only as ::
+
+    obs = current_obs_hook()
+    if obs is not None:
+        obs.begin("vpu.execute")
+    ...
+    if obs is not None:
+        obs.end(cycles=run.cycles)
+
+so with observability disabled every site is one predictable branch —
+no span objects, no clock reads, no dict writes, zero modeled cycles,
+and bit-identical kernel outputs.  The FHC006 lint rule statically
+enforces the guard at every dereference, and the test suite asserts
+bit- and cycle-exactness with tracing off vs. on.
+
+``REPRO_TRACE=1`` in the environment flips the hook on for CLI and
+benchmark entry points that call :func:`enable_from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import CAT_PHASE, Span, Tracer, cycle_attribution
+
+__all__ = [
+    "CAT_PHASE",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Span",
+    "Tracer",
+    "current_obs_hook",
+    "cycle_attribution",
+    "enable_from_env",
+    "install_obs_hook",
+    "observe",
+]
+
+
+class Observer:
+    """One observation session: a tracer plus a metrics registry.
+
+    This is the object the instrumentation sites talk to through the
+    guard; it exposes the small verb set the sites need so the hot-path
+    call is one attribute lookup deep.
+    """
+
+    def __init__(self, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.tracer = Tracer() if tracer is None else tracer
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+
+    # -- tracing -------------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "model", **args) -> None:
+        self.tracer.begin(name, cat, **args)
+
+    def end(self, **args) -> None:
+        self.tracer.end(**args)
+
+    def add_cycles(self, cycles: int) -> None:
+        self.tracer.add_cycles(cycles)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "model", **args):
+        """Context-manager span (exporter/driver-side convenience; the
+        model's instrumentation sites use guarded begin/end pairs)."""
+        self.tracer.begin(name, cat, **args)
+        try:
+            yield
+        finally:
+            self.tracer.end()
+
+    # -- metrics -------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe_value(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+
+_ACTIVE_OBSERVER: Observer | None = None
+
+
+def install_obs_hook(hook: Observer | None) -> Observer | None:
+    """Install the process-global observer (None disables); returns the
+    previous hook so callers can restore it."""
+    global _ACTIVE_OBSERVER
+    previous = _ACTIVE_OBSERVER
+    _ACTIVE_OBSERVER = hook
+    return previous
+
+
+def current_obs_hook() -> Observer | None:
+    """The process-global observer, or None when observability is off —
+    the only way instrumentation sites reach the tracer/registry."""
+    return _ACTIVE_OBSERVER
+
+
+@contextmanager
+def observe(hook: Observer | None = None):
+    """Temporarily install an observer (a fresh one by default)."""
+    session = Observer() if hook is None else hook
+    previous = install_obs_hook(session)
+    try:
+        yield session
+    finally:
+        install_obs_hook(previous)
+
+
+def enable_from_env() -> Observer | None:
+    """Install a fresh observer when ``REPRO_TRACE`` is set (and no
+    observer is active); entry points call this so tracing can be
+    flipped on without code changes.  Returns the active observer."""
+    if _ACTIVE_OBSERVER is None and os.environ.get("REPRO_TRACE"):
+        install_obs_hook(Observer())
+    return _ACTIVE_OBSERVER

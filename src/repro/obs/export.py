@@ -1,0 +1,141 @@
+"""Exporters: Chrome ``trace_event`` JSON, metrics snapshots, tables.
+
+Three views of one observed run:
+
+* :func:`to_chrome_trace` — the Trace Event Format dict (``ph: "X"``
+  complete events in microseconds) that ``chrome://tracing`` and
+  Perfetto load directly; model cycles and site annotations ride in
+  each event's ``args``.
+* :func:`metrics_snapshot` — the registry dump wrapped in the same
+  ``schema``/``bench``/``host`` envelope as ``BENCH_kernels.json`` and
+  ``BENCH_faults.json``, so downstream tooling dispatches on one format
+  family.
+* :func:`format_attribution` — the human-readable per-phase
+  cycle-attribution table; phase cycles sum to the trace's total model
+  cycles by construction (see :func:`repro.obs.trace.cycle_attribution`).
+
+:func:`validate_chrome_trace` is the shape check CI runs against the
+emitted trace before archiving it.
+"""
+
+from __future__ import annotations
+
+import platform
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, cycle_attribution
+
+#: Version of the BENCH_*/OBS_* JSON envelope family.
+SCHEMA_VERSION = 1
+
+
+def host_envelope(bench: str) -> dict:
+    """The shared artifact envelope: schema version, artifact name, and
+    the host fingerprint every committed benchmark JSON carries."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "host": {"machine": platform.machine(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__},
+    }
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro-model") -> dict:
+    """Serialize a span tree as Trace Event Format (Perfetto-loadable).
+
+    Every span becomes one complete (``ph: "X"``) event; still-open
+    spans are closed first via :meth:`Tracer.unwind`.  Timestamps are
+    microseconds from the tracer's epoch, durations are clamped to a
+    minimum of 1 ns so zero-wall-time model events stay visible.
+    """
+    tracer.unwind()
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    for span in tracer.spans:
+        args = dict(span.args)
+        if span.cycles_self:
+            args["cycles"] = span.cycles_self
+        subtree = span.subtree_cycles()
+        if subtree:
+            args["cycles_subtree"] = subtree
+        events.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": (span.start_ns - tracer.epoch_ns) / 1000.0,
+            "dur": max(span.duration_ns, 1) / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Shape-check a Chrome trace dict; returns problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not an object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not any(isinstance(e, dict) and e.get("ph") == "X" for e in events):
+        problems.append("no complete ('X') events")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i} has no name")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            problems.append(f"event {i} has unknown phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    problems.append(f"event {i} missing numeric {key!r}")
+            if not isinstance(event.get("args", {}), dict):
+                problems.append(f"event {i} args is not an object")
+    return problems
+
+
+# -- metrics snapshot --------------------------------------------------------
+
+
+def metrics_snapshot(metrics: MetricsRegistry, bench: str = "obs",
+                     extra: dict | None = None) -> dict:
+    """Registry dump in the shared artifact envelope."""
+    out = host_envelope(bench)
+    out.update(metrics.snapshot())
+    if extra:
+        out.update(extra)
+    return out
+
+
+# -- attribution table -------------------------------------------------------
+
+
+def format_attribution(tracer: Tracer, total_label: str = "total") -> str:
+    """The per-phase cycle-attribution table, human-readable.
+
+    Cycles are charged to the nearest enclosing phase span, so the
+    column sums to the trace's total model cycles exactly.
+    """
+    table = cycle_attribution(tracer)
+    total = tracer.total_cycles()
+    lines = [f"{'phase':24s} {'cycles':>12s} {'share':>7s} "
+             f"{'wall ms':>9s} {'spans':>6s}"]
+    for name, row in table.items():
+        share = row["cycles"] / total if total else 0.0
+        lines.append(f"{name:24s} {row['cycles']:12d} {share:6.1%} "
+                     f"{row['wall_ns'] / 1e6:9.3f} {row['spans']:6d}")
+    lines.append(f"{total_label:24s} {total:12d} {'100.0%':>7s}")
+    return "\n".join(lines)

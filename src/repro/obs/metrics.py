@@ -1,0 +1,83 @@
+"""Process-global metrics: counters, gauges, histograms.
+
+The registry is the scrape surface the ROADMAP's traffic-serving story
+needs: compiled-program cache hits/misses, integrity detections and
+retries, per-pool makespan/utilization, SRAM/DRAM byte traffic.  All of
+it is fed exclusively through the obs hook
+(:func:`repro.obs.current_obs_hook`) behind ``is not None`` guards, so
+a disabled registry costs the model nothing (FHC006).
+
+Metric names are dotted, lower-case, and stable —
+``layer.component.what`` — and documented in DESIGN.md's Observability
+section.  Snapshots serialize deterministically (sorted keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed value (no buckets: the model's
+    populations are small and min/mean/max is what the reports print)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def to_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": None,
+                    "min": None, "max": None}
+        return {"count": self.count, "total": self.total,
+                "mean": self.total / self.count,
+                "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named counters (monotonic), gauges (last value), histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view, deterministic key order."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: hist.to_dict() for name, hist
+                           in sorted(self.histograms.items())},
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

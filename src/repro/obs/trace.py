@@ -1,0 +1,163 @@
+"""Hierarchical span tracer for the behavioral model.
+
+A :class:`Span` is one timed region of a run — a VPU program execution,
+a kernel dispatch, a DRAM transfer, a keyswitch phase.  Spans nest: the
+tracer keeps a stack, so a ``vpu.execute`` span opened inside a
+``keyswitch.ntt`` phase records that phase as its parent, and the whole
+run serializes as a tree loadable by Perfetto (:mod:`repro.obs.export`).
+
+Two clocks ride on every span:
+
+* **wall time** — monotonic ``perf_counter_ns`` at begin/end, the
+  real-world cost of the Python model;
+* **model cycles** — the VPU's architectural cycle count, attached by
+  the instrumentation via :meth:`Tracer.add_cycles`.  Cycles accumulate
+  on the *innermost open* span (``cycles_self``), so each architectural
+  cycle is counted exactly once and per-phase attribution never double
+  counts even when phases nest (:func:`cycle_attribution`).
+
+The tracer is only ever driven through the process-global obs hook
+(:func:`repro.obs.current_obs_hook`); with the hook uninstalled no span
+objects, clock reads, or dictionary writes happen anywhere in the model
+(the FHC006 guard contract).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Span category for the named workload phases the attribution table
+#: groups by (decompose / NTT / inner-product / mod-down / ...).
+CAT_PHASE = "phase"
+
+
+@dataclass
+class Span:
+    """One begin/end region of the trace tree."""
+
+    name: str
+    cat: str
+    index: int
+    parent: "Span | None"
+    start_ns: int
+    end_ns: int | None = None
+    #: Model cycles attributed to this span itself (not its children).
+    cycles_self: int = 0
+    args: dict = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall duration (0 while the span is still open)."""
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    def subtree_cycles(self) -> int:
+        """Model cycles of this span plus every descendant."""
+        total = self.cycles_self
+        for child in self.children:
+            total += child.subtree_cycles()
+        return total
+
+    def phase_ancestor(self) -> "Span | None":
+        """Nearest enclosing span (self included) with the phase
+        category — the bucket the attribution table charges."""
+        span: Span | None = self
+        while span is not None:
+            if span.cat == CAT_PHASE:
+                return span
+            span = span.parent
+        return None
+
+
+class Tracer:
+    """Collects a tree of spans via a begin/end stack discipline.
+
+    ``end`` with an empty stack is a tolerated no-op (a crashed workload
+    may unwind past its instrumentation), and :meth:`unwind` force-closes
+    any spans left open so exporters always see a consistent tree.
+    """
+
+    def __init__(self, clock=time.perf_counter_ns):
+        self._clock = clock
+        self.spans: list[Span] = []  # every span, in begin order
+        self._stack: list[Span] = []
+        self.epoch_ns = clock()
+
+    # -- the span stack ------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "model", **args) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name=name, cat=cat, index=len(self.spans),
+                    parent=parent, start_ns=self._clock(), args=dict(args))
+        if parent is not None:
+            parent.children.append(span)
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, **args) -> Span | None:
+        if not self._stack:
+            return None
+        span = self._stack.pop()
+        span.end_ns = self._clock()
+        span.args.update(args)
+        return span
+
+    def unwind(self) -> int:
+        """Close every still-open span (outermost last); returns how
+        many were dangling."""
+        dangling = len(self._stack)
+        while self._stack:
+            self.end()
+        return dangling
+
+    # -- annotations ---------------------------------------------------------
+
+    def add_cycles(self, cycles: int) -> None:
+        """Charge model cycles to the innermost open span (dropped when
+        no span is open — cycles outside any traced region)."""
+        if self._stack:
+            self._stack[-1].cycles_self += int(cycles)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def roots(self) -> list[Span]:
+        return [span for span in self.spans if span.parent is None]
+
+    def total_cycles(self) -> int:
+        """Every model cycle recorded anywhere in the trace."""
+        return sum(span.cycles_self for span in self.spans)
+
+
+def cycle_attribution(tracer: Tracer) -> "dict[str, dict]":
+    """Per-phase model-cycle attribution.
+
+    Every span's ``cycles_self`` is charged to its nearest enclosing
+    phase-category span (``(unattributed)`` when there is none), so the
+    column sums to :meth:`Tracer.total_cycles` exactly — the acceptance
+    contract that per-phase cycles reconcile with the backend's reported
+    total.  Wall time and span counts are aggregated per phase *span*
+    (phases never share their own wall time with nested phases here
+    because the repository's phase spans are sequential).
+    """
+    table: dict[str, dict] = {}
+
+    def row(name: str) -> dict:
+        return table.setdefault(
+            name, {"cycles": 0, "wall_ns": 0, "spans": 0})
+
+    for span in tracer.spans:
+        if span.cat == CAT_PHASE:
+            entry = row(span.name)
+            entry["wall_ns"] += span.duration_ns
+            entry["spans"] += 1
+    for span in tracer.spans:
+        if span.cycles_self == 0:
+            continue
+        phase = span.phase_ancestor()
+        name = phase.name if phase is not None else "(unattributed)"
+        row(name)["cycles"] += span.cycles_self
+    return dict(sorted(table.items()))

@@ -160,6 +160,63 @@ class TestFHC005FaultHookGuard:
             """)
 
 
+class TestFHC006ObsHookGuard:
+    def test_flags_unguarded_accessor_alias(self):
+        assert "FHC006" in _rules("""
+            def f(x):
+                obs = current_obs_hook()
+                obs.count("vpu.executions")
+                return x
+            """)
+
+    def test_guarded_alias_exempts(self):
+        assert _rules("""
+            def f(x):
+                obs = current_obs_hook()
+                if obs is not None:
+                    obs.begin("vpu.execute", m=16)
+                y = work(x)
+                if obs is not None:
+                    obs.end(cycles=y)
+                return y
+            """) == []
+
+    def test_installer_and_accessor_calls_exempt(self):
+        assert _rules("""
+            def f(observer):
+                previous = install_obs_hook(observer)
+                install_obs_hook(previous)
+                return current_obs_hook()
+            """) == []
+
+    def test_dereference_outside_the_guard_still_flagged(self):
+        assert "FHC006" in _rules("""
+            def f(x):
+                obs = current_obs_hook()
+                if obs is not None:
+                    obs.begin("span")
+                obs.end()
+                return x
+            """)
+
+    def test_transitive_alias_tracked(self):
+        assert "FHC006" in _rules("""
+            def f(x):
+                obs = current_obs_hook()
+                o2 = obs
+                o2.count("x")
+            """)
+
+    def test_fault_and_obs_rules_are_independent(self):
+        rules = _rules("""
+            def f(self, x):
+                self.fault_hook.filter_alu("mul", x)
+                obs = current_obs_hook()
+                obs.count("x")
+            """)
+        assert "FHC005" in rules and "FHC006" in rules
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         assert _rules("""

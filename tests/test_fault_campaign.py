@@ -45,6 +45,12 @@ class TestSmokeCampaign:
         assert data["policy"] == "detect-retry"
         assert len(data["events"]) == 48
 
+    def test_report_carries_shared_artifact_envelope(self, report):
+        data = json.loads(report.to_json())
+        assert data["schema"] == 1
+        assert data["bench"] == "faults"
+        assert set(data["host"]) == {"machine", "python", "numpy"}
+
 
 class TestDeterminism:
     def test_same_seed_byte_identical(self):
