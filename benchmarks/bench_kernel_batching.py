@@ -1,18 +1,22 @@
-"""Per-limb vs limb-batched kernel dispatch microbenchmarks.
+"""Per-limb vs limb-batched vs compiled kernel dispatch microbenchmarks.
 
 Times the three kernels the paper's workload analysis is built on — the
 negacyclic NTT, the evaluation-domain automorphism, and the full digit
-keyswitch — in two dispatch regimes:
+keyswitch — in three dispatch regimes:
 
 * **per-limb** (the seed implementation): one backend call per residue
   row, object-dtype big-int digit reduction, non-fused accumulation;
-* **batched** (the current engine): the whole ``(L, n)`` residue matrix
-  per dispatch, broadcast reduction, fused multiply-accumulate.
+* **batched** (the numpy engine): the whole ``(L, n)`` residue matrix
+  per dispatch, broadcast reduction, fused multiply-accumulate;
+* **compiled** (:mod:`repro.kernels`): the whole transform / keyswitch
+  inner loop as a single JIT-compiled, allocation-free kernel call.
 
-Outputs are checked bit-for-bit between the two regimes (and, for the
-keyswitch, between the numpy and VPU backends) before any number is
-recorded.  Results land in machine-readable ``BENCH_kernels.json`` at
-the repository root so future PRs have a perf trajectory.
+Outputs are checked bit-for-bit across all regimes (and, for the
+keyswitch, between the numpy, compiled and VPU backends) before any
+number is recorded.  Results land in machine-readable
+``BENCH_kernels.json`` at the repository root so future PRs have a perf
+trajectory; the compiled keyswitch ``speedup_compiled`` on
+``keyswitch_small_params`` is the >= 10x acceptance gate.
 
 Run:  PYTHONPATH=src python benchmarks/bench_kernel_batching.py [--quick]
 """
@@ -33,6 +37,7 @@ from repro.fhe.ckks import CkksContext
 from repro.fhe.keyswitch import KeySwitchKey, apply_keyswitch
 from repro.fhe.params import CkksParams, small_params
 from repro.fhe.polynomial import RnsPoly
+from repro.kernels import CompiledBackend
 from repro.ntt.tables import get_tables
 from repro.obs.export import host_envelope
 
@@ -49,18 +54,21 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def _best_of_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
-    """Min-of-N timing with the two candidates interleaved per round, so
-    background load hits both measurement windows instead of skewing
+def _best_of_group(fns, repeats: int) -> list[float]:
+    """Min-of-N timing with all candidates interleaved per round, so
+    background load hits every measurement window instead of skewing
     whichever candidate happened to run during a spike."""
-    best_a = best_b = float("inf")
+    best = [float("inf")] * len(fns)
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn_a()
-        best_a = min(best_a, time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        fn_b()
-        best_b = min(best_b, time.perf_counter() - t0)
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def _best_of_pair(fn_a, fn_b, repeats: int) -> tuple[float, float]:
+    best_a, best_b = _best_of_group([fn_a, fn_b], repeats)
     return best_a, best_b
 
 
@@ -180,24 +188,34 @@ def seed_apply_keyswitch(x: RnsPoly, ksk: KeySwitchKey,
 # ---------------------------------------------------------------------------
 
 
-def bench_ntt(n: int, levels: int, repeats: int) -> dict:
+def bench_ntt(n: int, levels: int, repeats: int,
+              compiled: CompiledBackend | None) -> dict:
     primes = tuple(find_ntt_primes(2 * n, 29, levels))
     rng = np.random.default_rng(n)
     rows = np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in primes])
     backend = NumpyBackend()
-    # Warm both table caches before timing.
+    # Warm every table/plan cache before timing.
     per_limb = seed_forward_ntt_rows(backend, rows, primes)
     batched = backend.forward_ntt_batch(rows, primes)
     np.testing.assert_array_equal(per_limb, batched)
-    t_per_limb, t_batched = _best_of_pair(
-        lambda: seed_forward_ntt_rows(backend, rows, primes),
-        lambda: backend.forward_ntt_batch(rows, primes), repeats)
-    return {"n": n, "limbs": levels, "per_limb_s": t_per_limb,
-            "batched_s": t_batched, "speedup": t_per_limb / t_batched,
-            "bit_identical": True}
+    result = {"n": n, "limbs": levels, "bit_identical": True}
+    fns = [lambda: seed_forward_ntt_rows(backend, rows, primes),
+           lambda: backend.forward_ntt_batch(rows, primes)]
+    if compiled is not None:
+        np.testing.assert_array_equal(
+            compiled.forward_ntt_batch(rows, primes), batched)
+        fns.append(lambda: compiled.forward_ntt_batch(rows, primes))
+    times = _best_of_group(fns, repeats)
+    result.update({"per_limb_s": times[0], "batched_s": times[1],
+                   "speedup": times[0] / times[1]})
+    if compiled is not None:
+        result.update({"compiled_s": times[2],
+                       "speedup_compiled": times[0] / times[2]})
+    return result
 
 
-def bench_automorphism(n: int, levels: int, repeats: int) -> dict:
+def bench_automorphism(n: int, levels: int, repeats: int,
+                       compiled: CompiledBackend | None) -> dict:
     primes = tuple(find_ntt_primes(2 * n, 29, levels))
     rng = np.random.default_rng(n + 1)
     rows = np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in primes])
@@ -206,16 +224,25 @@ def bench_automorphism(n: int, levels: int, repeats: int) -> dict:
     per_limb = seed_automorphism_rows(rows, galois_k)
     batched = backend.automorphism_eval_batch(rows, galois_k, primes)
     np.testing.assert_array_equal(per_limb, batched)
-    t_per_limb, t_batched = _best_of_pair(
-        lambda: seed_automorphism_rows(rows, galois_k),
-        lambda: backend.automorphism_eval_batch(rows, galois_k, primes),
-        repeats)
-    return {"n": n, "limbs": levels, "per_limb_s": t_per_limb,
-            "batched_s": t_batched, "speedup": t_per_limb / t_batched,
-            "bit_identical": True}
+    result = {"n": n, "limbs": levels, "bit_identical": True}
+    fns = [lambda: seed_automorphism_rows(rows, galois_k),
+           lambda: backend.automorphism_eval_batch(rows, galois_k, primes)]
+    if compiled is not None:
+        np.testing.assert_array_equal(
+            compiled.automorphism_eval_batch(rows, galois_k, primes), batched)
+        fns.append(
+            lambda: compiled.automorphism_eval_batch(rows, galois_k, primes))
+    times = _best_of_group(fns, repeats)
+    result.update({"per_limb_s": times[0], "batched_s": times[1],
+                   "speedup": times[0] / times[1]})
+    if compiled is not None:
+        result.update({"compiled_s": times[2],
+                       "speedup_compiled": times[0] / times[2]})
+    return result
 
 
-def bench_keyswitch(repeats: int, check_vpu: bool = True) -> dict:
+def bench_keyswitch(repeats: int, compiled: CompiledBackend | None,
+                    check_vpu: bool = True) -> dict:
     """Full digit keyswitch on ``small_params`` (the acceptance gate)."""
     params = small_params()
     ctx = CkksContext(params, seed=42)
@@ -230,6 +257,10 @@ def bench_keyswitch(repeats: int, check_vpu: bool = True) -> dict:
     np.testing.assert_array_equal(seed_t0.residues, new_t0.residues)
     np.testing.assert_array_equal(seed_t1.residues, new_t1.residues)
 
+    def compiled_keyswitch():
+        with use_backend(compiled):
+            return apply_keyswitch(x, ctx.relin_key, params)
+
     backends_identical = None
     if check_vpu:
         vpu = VpuBackend(m=16)
@@ -238,14 +269,26 @@ def bench_keyswitch(repeats: int, check_vpu: bool = True) -> dict:
         np.testing.assert_array_equal(new_t0.residues, vpu_t0.residues)
         np.testing.assert_array_equal(new_t1.residues, vpu_t1.residues)
         backends_identical = True
+    if compiled is not None:
+        c_t0, c_t1 = compiled_keyswitch()
+        np.testing.assert_array_equal(new_t0.residues, c_t0.residues)
+        np.testing.assert_array_equal(new_t1.residues, c_t1.residues)
+        if backends_identical is not False:
+            backends_identical = True
 
-    t_seed, t_batched = _best_of_pair(
-        lambda: seed_apply_keyswitch(x, ctx.relin_key, params),
-        lambda: apply_keyswitch(x, ctx.relin_key, params), repeats)
-    return {"params": "small_params", "n": params.n, "limbs": params.levels,
-            "seed_per_limb_s": t_seed, "batched_s": t_batched,
-            "speedup": t_seed / t_batched, "bit_identical": True,
-            "backends_bit_identical": backends_identical}
+    fns = [lambda: seed_apply_keyswitch(x, ctx.relin_key, params),
+           lambda: apply_keyswitch(x, ctx.relin_key, params)]
+    if compiled is not None:
+        fns.append(compiled_keyswitch)
+    times = _best_of_group(fns, repeats)
+    result = {"params": "small_params", "n": params.n, "limbs": params.levels,
+              "seed_per_limb_s": times[0], "batched_s": times[1],
+              "speedup": times[0] / times[1], "bit_identical": True,
+              "backends_bit_identical": backends_identical}
+    if compiled is not None:
+        result.update({"compiled_s": times[2],
+                       "speedup_compiled": times[0] / times[2]})
+    return result
 
 
 def bench_vpu_program_cache(n: int = 1024, levels: int = 3) -> dict:
@@ -283,35 +326,54 @@ def main() -> None:
     args = parser.parse_args()
 
     repeats = 2 if args.quick else 9
-    sizes = [1024] if args.quick else [1024, 4096]
-    levels = 4
+    # Larger rings get the deeper limb chains a real modulus ladder
+    # carries at that size.
+    sizes = {1024: 4} if args.quick else {1024: 4, 4096: 4, 8192: 8,
+                                          16384: 8}
+    compiled = CompiledBackend()
+    if compiled.provider_name is None:
+        print("[compiled] no JIT provider available "
+              "(numba or a C compiler); skipping compiled columns")
+        compiled = None
 
     results = host_envelope("kernel_batching")
-    results.update({"quick": args.quick, "ntt": {}, "automorphism": {}})
-    for n in sizes:
-        print(f"[ntt] n={n} ...")
-        results["ntt"][str(n)] = bench_ntt(n, levels, repeats)
-        print(f"[automorphism] n={n} ...")
-        results["automorphism"][str(n)] = bench_automorphism(n, levels, repeats)
+    results.update({
+        "quick": args.quick,
+        "compiled_provider":
+            None if compiled is None else compiled.provider_name,
+        "ntt": {}, "automorphism": {},
+    })
+    for n, levels in sizes.items():
+        print(f"[ntt] n={n} L={levels} ...")
+        results["ntt"][str(n)] = bench_ntt(n, levels, repeats, compiled)
+        print(f"[automorphism] n={n} L={levels} ...")
+        results["automorphism"][str(n)] = bench_automorphism(
+            n, levels, repeats, compiled)
 
     print("[keyswitch] small_params ...")
     results["keyswitch_small_params"] = bench_keyswitch(
-        repeats, check_vpu=not args.quick)
+        repeats, compiled, check_vpu=not args.quick)
     if not args.quick:
         print("[vpu] program cache ...")
         results["vpu_program_cache"] = bench_vpu_program_cache()
 
     OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {OUT_PATH}")
+    def _compiled_cols(r: dict) -> str:
+        if "compiled_s" not in r:
+            return ""
+        return (f"  compiled {r['compiled_s']*1e3:8.3f} ms"
+                f" ({r['speedup_compiled']:5.2f}x)")
+
     for section in ("ntt", "automorphism"):
         for n, r in results[section].items():
             print(f"  {section:13s} n={n}: per-limb {r['per_limb_s']*1e3:8.3f} ms"
                   f"  batched {r['batched_s']*1e3:8.3f} ms"
-                  f"  speedup {r['speedup']:5.2f}x")
+                  f"  speedup {r['speedup']:5.2f}x" + _compiled_cols(r))
     ks = results["keyswitch_small_params"]
     print(f"  keyswitch     small_params: seed {ks['seed_per_limb_s']*1e3:8.3f} ms"
           f"  batched {ks['batched_s']*1e3:8.3f} ms"
-          f"  speedup {ks['speedup']:5.2f}x")
+          f"  speedup {ks['speedup']:5.2f}x" + _compiled_cols(ks))
     if "vpu_program_cache" in results:
         vp = results["vpu_program_cache"]
         print(f"  vpu cache     n={vp['n']}: {vp['program_compilations']} compiles"

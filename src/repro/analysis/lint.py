@@ -44,6 +44,16 @@ fast paths silently go wrong:
     functions (``install_obs_hook(...)``, ``current_obs_hook()``) are
     exempt.
 
+``FHC007`` **ungated compiled lazy kernel** — a ``cjit_*_lazy`` /
+    ``cjit_*_unclamped`` compiled-kernel entry (:mod:`repro.kernels
+    .provider`) is invoked outside a branch conditioned on an
+    analyzer-derived eligibility gate (a ``*_ok`` name or attribute,
+    e.g. ``plan.lazy_stages_ok`` from :func:`repro.analysis.bounds
+    .compiled_ntt_ok`, or a local alias of one).  The lazy schedules
+    are sound *only* where the interval analysis proves them — a direct
+    call bypassing the gate reintroduces exactly the hand-coded width
+    assumptions fhecheck exists to eliminate.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -66,6 +76,12 @@ _NARROW_DTYPES = {"int64", "int32", "uint32", "int16", "uint16",
                   "int8", "uint8"}
 _LAZY_KERNELS = {"dif_stages_lazy", "dit_stages_lazy",
                  "dit_stages_unclamped"}
+#: Compiled-kernel entries whose reduction discipline is conditional on
+#: an analyzer-derived gate (FHC007).  The naming convention is load-
+#: bearing: every gated entry in ``repro.kernels.provider`` carries a
+#: ``_lazy``/``_unclamped`` suffix; ungated ones (pure gathers,
+#: per-step-reduced accumulators) do not.
+_CJIT_LAZY_RE = re.compile(r"^cjit_\w*_(?:lazy|unclamped)$")
 
 
 def _dtype_name(node: ast.expr) -> str | None:
@@ -206,6 +222,49 @@ def _collect_hook_aliases(fn: ast.AST, suffix: str) -> set[str]:
     return aliases
 
 
+def _scan_guarded(fn: ast.AST, mentions, on_call) -> None:
+    """Walk ``fn`` tracking branch-guardedness, invoking
+    ``on_call(call, guarded)`` for every call expression.
+
+    A node is *guarded* when it sits in the taken branch of an
+    ``if``/``while``/conditional expression (or to the right of an
+    ``and``) whose test satisfies ``mentions`` — the shared skeleton of
+    the guarded-dereference rules (FHC005/FHC006) and the gated
+    compiled-kernel rule (FHC007).  ``else`` branches inherit only the
+    outer guardedness; nested function scopes get their own pass.
+    """
+
+    def scan(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not fn:
+            return  # nested scopes get their own pass
+        if isinstance(node, (ast.If, ast.While)):
+            scan(node.test, guarded)
+            body_guarded = guarded or mentions(node.test)
+            for stmt in node.body:
+                scan(stmt, body_guarded)
+            for stmt in node.orelse:
+                scan(stmt, guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            scan(node.test, guarded)
+            scan(node.body, guarded or mentions(node.test))
+            scan(node.orelse, guarded)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            running = guarded
+            for value in node.values:
+                scan(value, running)
+                running = running or mentions(value)
+            return
+        if isinstance(node, ast.Call):
+            on_call(node, guarded)
+        for child in ast.iter_child_nodes(node):
+            scan(child, guarded)
+
+    scan(fn, False)
+
+
 class _Suppressions:
     def __init__(self, source: str):
         self.by_line: dict[int, set[str] | None] = {}
@@ -256,6 +315,7 @@ class _Linter(ast.NodeVisitor):
         self._fn_stack.append(node)
         self._check_lazy_escape(node)
         self._check_fault_hook_guards(node)
+        self._check_compiled_gate_guards(node)
         self.generic_visit(node)
         self._fn_stack.pop()
 
@@ -367,36 +427,42 @@ class _Linter(ast.NodeVisitor):
         def mentions(node: ast.AST) -> bool:
             return _mentions_hook(node, aliases, suffix)
 
-        def scan(node: ast.AST, guarded: bool) -> None:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.Lambda)) and node is not fn:
-                return  # nested scopes get their own pass
-            if isinstance(node, (ast.If, ast.While)):
-                scan(node.test, guarded)
-                body_guarded = guarded or mentions(node.test)
-                for stmt in node.body:
-                    scan(stmt, body_guarded)
-                for stmt in node.orelse:
-                    scan(stmt, guarded)
-                return
-            if isinstance(node, ast.IfExp):
-                scan(node.test, guarded)
-                scan(node.body, guarded or mentions(node.test))
-                scan(node.orelse, guarded)
-                return
-            if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
-                running = guarded
-                for value in node.values:
-                    scan(value, running)
-                    running = running or mentions(value)
-                return
-            if isinstance(node, ast.Call):
-                self._check_hook_call(node, aliases, guarded,
-                                      rule, suffix, label, disabled)
-            for child in ast.iter_child_nodes(node):
-                scan(child, guarded)
+        def on_call(node: ast.Call, guarded: bool) -> None:
+            self._check_hook_call(node, aliases, guarded,
+                                  rule, suffix, label, disabled)
 
-        scan(fn, False)
+        _scan_guarded(fn, mentions, on_call)
+
+    # -- FHC007: ungated compiled lazy kernel ------------------------------
+
+    def _check_compiled_gate_guards(self, fn: ast.AST) -> None:
+        """Every ``cjit_*_lazy``/``cjit_*_unclamped`` call must sit in a
+        branch conditioned on an analyzer-derived ``*_ok`` gate (or a
+        local alias of one) — the guard machinery is shared with
+        FHC005/FHC006, with ``_ok`` as the tracked suffix."""
+        aliases = _collect_hook_aliases(fn, "_ok")
+
+        def mentions(node: ast.AST) -> bool:
+            return _mentions_hook(node, aliases, "_ok")
+
+        def on_call(node: ast.Call, guarded: bool) -> None:
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name is None or not _CJIT_LAZY_RE.match(name):
+                return
+            if guarded:
+                return
+            self._flag(
+                "FHC007", node,
+                f"compiled lazy-reduction kernel {name}() invoked "
+                f"outside a branch conditioned on an analyzer-derived "
+                f"*_ok eligibility gate — lazy schedules are sound only "
+                f"where the interval analysis proves them")
+
+        _scan_guarded(fn, mentions, on_call)
 
     def _check_hook_call(self, node: ast.Call, aliases: set[str],
                          guarded: bool, rule: str, suffix: str,

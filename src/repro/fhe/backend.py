@@ -5,11 +5,15 @@ inverse negacyclic NTTs and evaluation-domain automorphisms — funnels
 through the active backend:
 
 * :class:`NumpyBackend` — the fast vectorized golden path.
+* :class:`repro.kernels.CompiledBackend` — fused JIT kernels (Numba or
+  a runtime-compiled C extension): the whole transform per dispatch,
+  bit-identical to the numpy path, falling back to it whenever a
+  provider or an eligibility gate is missing.
 * :class:`VpuBackend` — routes the kernels through the behavioral VPU
   model (compiled ISA programs executed on the mux-level network), so a
   whole CKKS workload can be run "on the hardware" and checked
   bit-for-bit against the numpy path.
-* :class:`IntegrityBackend` — wraps either of the above with the ABFT
+* :class:`IntegrityBackend` — wraps any of the above with the ABFT
   runtime integrity layer: O(n) linear checksums after every batched
   kernel, policy-driven bounded replay, compiled-program quarantine and
   graceful degradation down to the golden per-row path
@@ -24,11 +28,16 @@ transform; on the VPU path it is a replay of one cached compiled
 program per limb — programs are compiled once per ``(kernel, n, m, q)``
 and counted in ``program_compilations``.
 
-Swap with :func:`set_backend`, or temporarily with :func:`use_backend`.
+Swap with :func:`set_backend`, or temporarily with :func:`use_backend`;
+the process default honors ``REPRO_BACKEND=numpy|compiled|vpu``
+(:func:`backend_from_env`).
 """
 
 from __future__ import annotations
 
+import os
+import sys
+import warnings
 from contextlib import contextmanager
 
 import numpy as np
@@ -654,7 +663,35 @@ class IntegrityBackend:
         self._failures.clear()
 
 
-_ACTIVE: NumpyBackend | VpuBackend | IntegrityBackend = NumpyBackend()
+def backend_from_env(default: str = "numpy"):
+    """Construct the backend ``REPRO_BACKEND`` selects (``numpy`` |
+    ``compiled`` | ``vpu``); ``default`` applies when unset or empty.
+    Raises :class:`ValueError` on an unknown name."""
+    name = os.environ.get("REPRO_BACKEND", default).strip().lower() or default
+    if name == "numpy":
+        return NumpyBackend()
+    if name == "compiled":
+        from repro.kernels import CompiledBackend
+
+        return CompiledBackend()
+    if name == "vpu":
+        return VpuBackend()
+    raise ValueError(
+        f"unknown REPRO_BACKEND {name!r} (expected numpy, compiled or vpu)")
+
+
+def _initial_backend() -> NumpyBackend | VpuBackend:
+    try:
+        return backend_from_env()
+    except ValueError as exc:
+        # Import-time typo in the environment must not make the package
+        # unimportable — warn and run on the default path.
+        warnings.warn(f"{exc}; falling back to NumpyBackend",
+                      RuntimeWarning, stacklevel=2)
+        return NumpyBackend()
+
+
+_ACTIVE: NumpyBackend | VpuBackend | IntegrityBackend = _initial_backend()
 
 
 def get_backend():
@@ -664,13 +701,17 @@ def get_backend():
 
 def clear_caches() -> None:
     """Drop every kernel-level cache: the per-``(n, q)`` golden NTT
-    objects, the batched-NTT stacks, and the active backend's compiled
-    programs and quarantines.  Fault campaigns and tests call this
-    between runs so poisoned state cannot leak across experiments.
-    (Twiddle tables stay cached: they are pure functions of ``(n, q)``
-    that no injection site ever writes.)"""
+    objects, the batched-NTT stacks, the compiled-kernel plans and
+    workspaces (:mod:`repro.kernels`, when loaded), and the active
+    backend's compiled programs and quarantines.  Fault campaigns and
+    tests call this between runs so poisoned state cannot leak across
+    experiments.  (Twiddle tables stay cached: they are pure functions
+    of ``(n, q)`` that no injection site ever writes.)"""
     _NTT_CACHE.clear()
     get_batched_ntt.cache_clear()
+    kernel_plans = sys.modules.get("repro.kernels.plan")
+    if kernel_plans is not None:
+        kernel_plans.clear_compiled_caches()
     clearer = getattr(_ACTIVE, "clear_caches", None)
     if clearer is not None:
         clearer()

@@ -188,6 +188,23 @@ def accumulate_keyswitch(
     maxq = max(primes)
     lazy = keyswitch_lazy_accumulate_ok(len(digits), maxq)
     wide = not mul_fits_uint64(maxq - 1, maxq - 1)
+    inner = getattr(get_backend(), "keyswitch_inner_product", None)
+    if (inner is not None and not wide and digits
+            and current_fault_hook() is None):
+        # Fused compiled path: one kernel call over the (D, L+1, n)
+        # stacks.  Skipped under an active fault hook so injection sites
+        # and the ABFT spare-modulus check keep seeing the python loop
+        # (IntegrityBackend never exposes the fused method itself).
+        digit_stack = np.stack([d.residues for d in digits])
+        b_stack = np.stack([ksk.pairs[i][0].residues[keep]
+                            for i in range(len(digits))])
+        a_stack = np.stack([ksk.pairs[i][1].residues[keep]
+                            for i in range(len(digits))])
+        acc0, acc1 = inner(digit_stack, b_stack, a_stack, primes)
+        if obs is not None:
+            obs.end(lazy=lazy, fused=True)
+        return (RnsPoly(acc0, primes, is_eval=True),
+                RnsPoly(acc1, primes, is_eval=True))
     acc0 = np.zeros_like(digits[0].residues)
     acc1 = np.zeros_like(digits[0].residues)
     if wide:

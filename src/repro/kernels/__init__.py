@@ -1,0 +1,39 @@
+"""``repro.kernels`` — the compiled fused-kernel backend.
+
+The whole forward/inverse negacyclic NTT, the batched automorphism,
+and the fused keyswitch inner loop each compile to a *single*
+cache-blocked kernel call over the full ``(L, n)`` residue matrix,
+with precomputed Barrett/Shoup constant tables (hoisted onto
+:class:`~repro.ntt.tables.NttTables`) and reusable per-shape workspace
+buffers.  Lazy-reduction eligibility is derived from the fhecheck
+interval analysis (:mod:`repro.analysis.bounds`), never hand-coded.
+
+Two interchangeable JIT providers sit behind one plan format:
+``numba`` (``@njit(parallel=True)``, import-guarded — Numba is not a
+dependency) and ``cext`` (``kernels.c`` compiled at first use with the
+host C compiler and loaded via ctypes).  With neither available,
+:class:`CompiledBackend` degrades to the inherited
+:class:`~repro.fhe.backend.NumpyBackend` path, bit-identically.
+
+Select globally with ``REPRO_BACKEND=compiled`` (see
+:mod:`repro.fhe.backend`) and pin the provider with
+``REPRO_JIT=numba|cext|none``.
+"""
+
+from repro.kernels.backend import CompiledBackend
+from repro.kernels.plan import (
+    CompiledPlan,
+    clear_compiled_caches,
+    get_plan,
+    plan_cache,
+)
+from repro.kernels.provider import resolve_provider
+
+__all__ = [
+    "CompiledBackend",
+    "CompiledPlan",
+    "clear_compiled_caches",
+    "get_plan",
+    "plan_cache",
+    "resolve_provider",
+]

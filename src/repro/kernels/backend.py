@@ -1,0 +1,302 @@
+"""The compiled fused-kernel backend.
+
+:class:`CompiledBackend` is the third ``KernelBackend`` implementation:
+whole forward/inverse negacyclic NTTs, batched automorphisms, and the
+fused keyswitch inner loop each run as a *single* compiled call over
+the full ``(L, n)`` residue matrix — no per-stage numpy dispatch, no
+full-size temporaries beyond one reusable workspace.  It subclasses
+:class:`~repro.fhe.backend.NumpyBackend`, so every shape a gate or a
+missing JIT provider refuses simply falls through to the vectorized
+numpy path (and the single-row legacy methods stay inherited).
+
+Bit-identity contract: every compiled kernel returns fully reduced
+residues (< q), and a reduced residue is unique — so outputs match the
+numpy and VPU paths bit for bit regardless of the internal reduction
+schedule.  Because the Numba provider can only be exercised where
+Numba is installed (CI, not this container — and vice versa for the C
+provider on toolchain-less hosts), the backend additionally
+cross-checks each (kernel, shape) pair against the numpy reference on
+first use (``self_check``, disable with ``REPRO_COMPILED_SELFCHECK=0``)
+and raises rather than silently returning wrong residues.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.bounds import keyswitch_lazy_accumulate_ok, mul_fits_uint64
+from repro.fhe.backend import NumpyBackend
+from repro.kernels.plan import (
+    clear_compiled_caches,
+    get_destinations,
+    get_plan,
+    get_workspace,
+    plan_cache,
+)
+from repro.kernels.provider import (
+    cjit_auto_batch,
+    cjit_fwd_ntt_lazy,
+    cjit_inv_ntt_lazy,
+    cjit_inv_ntt_unclamped,
+    cjit_ks_accum_lazy,
+    cjit_ks_accum_reduced,
+    resolve_provider,
+)
+from repro.obs import current_obs_hook
+
+
+class CompiledBackend(NumpyBackend):
+    """Fused JIT kernels with analyzer-derived gates and numpy fallback.
+
+    ``provider`` is a provider object, a provider name
+    (``numba``/``cext``/``none``), or None to resolve from ``REPRO_JIT``
+    (Numba first, then the runtime-compiled C extension).  With no
+    provider available every dispatch falls back to the inherited numpy
+    path — same results, seed-era speed.
+    """
+
+    name = "compiled"
+
+    def __init__(self, provider=None, self_check: bool | None = None):
+        super().__init__(mode="fast")
+        if provider is None or isinstance(provider, str):
+            provider = resolve_provider(provider)
+        self._impl = provider
+        if self_check is None:
+            self_check = os.environ.get(
+                "REPRO_COMPILED_SELFCHECK", "1") != "0"
+        #: First-use-per-shape cross-check against the numpy reference.
+        self.self_check = self_check
+        self._checked: set[tuple] = set()
+        self._reference: NumpyBackend | None = None
+        self.kernel_invocations = 0
+        self.fallbacks = 0
+        self.self_checks = 0
+
+    @property
+    def provider_name(self) -> str | None:
+        """Active JIT provider (``numba``/``cext``), or None."""
+        return None if self._impl is None else self._impl.name
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return plan_cache().hits
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return plan_cache().misses
+
+    # -- cache management / metrics -----------------------------------------
+
+    def clear_caches(self) -> None:
+        """Reset the shared compiled-kernel state — constant-table plans
+        (and their hit/miss counters), workspace buffers, automorphism
+        destination tables — plus this instance's self-check memos."""
+        clear_compiled_caches()
+        self._checked.clear()
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("backend.compiled_plan_cache.clears")
+            self._publish_cache_metrics(obs)
+
+    def _publish_cache_metrics(self, obs) -> None:
+        """Mirror the plan-cache counters into the metrics registry
+        (guarded-hook callers only) — the compiled analogue of
+        ``VpuBackend._publish_cache_metrics``."""
+        cache = plan_cache()
+        obs.gauge("backend.compiled_plan_cache.hits", cache.hits)
+        obs.gauge("backend.compiled_plan_cache.misses", cache.misses)
+        obs.gauge("backend.compiled_plan_cache.size", len(cache))
+
+    # -- self-check ----------------------------------------------------------
+
+    def _reference_backend(self) -> NumpyBackend:
+        if self._reference is None:
+            self._reference = NumpyBackend()
+        return self._reference
+
+    def _verify_first_use(self, key: tuple, reference_fn, out) -> None:
+        """Compare one compiled result against the numpy reference, once
+        per (kernel, shape): the runtime leg of the bit-identity
+        contract for providers this host's test suite cannot build."""
+        if not self.self_check or key in self._checked:
+            return
+        self._checked.add(key)
+        self.self_checks += 1
+        expected = reference_fn()
+        if not np.array_equal(expected, out):
+            raise RuntimeError(
+                f"compiled kernel self-check failed for {key[0]} "
+                f"(provider {self.provider_name}): output differs from "
+                f"the numpy reference")
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("backend.compiled.self_checks")
+
+    def _note_fallback(self) -> None:
+        self.fallbacks += 1
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("backend.compiled.fallbacks")
+
+    # -- limb-batched kernels -------------------------------------------------
+
+    def forward_ntt_batch(self, residues: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        residues = np.asarray(residues)
+        primes = tuple(primes)
+        impl = self._impl
+        plan = (get_plan(residues.shape[1], primes)
+                if impl is not None and residues.shape[1] else None)
+        use_ok = plan is not None and plan.lazy_stages_ok
+        if use_ok:
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.begin("compiled.batch.ntt", cat="kernel",
+                          limbs=len(primes), n=residues.shape[1],
+                          provider=impl.name)
+            x = np.ascontiguousarray(residues, dtype=np.uint64)
+            out = np.empty_like(x)
+            work = get_workspace(x.shape[0], x.shape[1])
+            cjit_fwd_ntt_lazy(impl, plan, x, out, work)
+            self.kernel_invocations += 1
+            self._verify_first_use(
+                ("ntt", x.shape[1], primes),
+                lambda: self._reference_backend().forward_ntt_batch(
+                    x, primes), out)
+            if obs is not None:
+                obs.count("backend.compiled.kernels.ntt")
+                self._publish_cache_metrics(obs)
+                obs.end()
+            return out
+        self._note_fallback()
+        return super().forward_ntt_batch(residues, primes)
+
+    def inverse_ntt_batch(self, values: np.ndarray,
+                          primes: tuple[int, ...]) -> np.ndarray:
+        values = np.asarray(values)
+        primes = tuple(primes)
+        impl = self._impl
+        plan = (get_plan(values.shape[1], primes)
+                if impl is not None and values.shape[1] else None)
+        use_ok = plan is not None and plan.lazy_stages_ok
+        if use_ok:
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.begin("compiled.batch.intt", cat="kernel",
+                          limbs=len(primes), n=values.shape[1],
+                          provider=impl.name)
+            x = np.ascontiguousarray(values, dtype=np.uint64)
+            out = np.empty_like(x)
+            work = get_workspace(x.shape[0], x.shape[1])
+            if plan.unclamped_ok:
+                cjit_inv_ntt_unclamped(impl, plan, x, out, work)
+            else:
+                cjit_inv_ntt_lazy(impl, plan, x, out, work)
+            self.kernel_invocations += 1
+            self._verify_first_use(
+                ("intt", x.shape[1], primes),
+                lambda: self._reference_backend().inverse_ntt_batch(
+                    x, primes), out)
+            if obs is not None:
+                obs.count("backend.compiled.kernels.intt")
+                self._publish_cache_metrics(obs)
+                obs.end()
+            return out
+        self._note_fallback()
+        return super().inverse_ntt_batch(values, primes)
+
+    def automorphism_eval_batch(self, values: np.ndarray, galois_k: int,
+                                primes: tuple[int, ...]) -> np.ndarray:
+        values = np.asarray(values)
+        impl = self._impl
+        if impl is not None and values.dtype == np.uint64 and values.shape[1]:
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.begin("compiled.batch.auto", cat="kernel",
+                          limbs=values.shape[0], n=values.shape[1],
+                          galois_k=galois_k, provider=impl.name)
+            dest = get_destinations(values.shape[1], galois_k)
+            x = np.ascontiguousarray(values)
+            out = np.empty_like(x)
+            cjit_auto_batch(impl, x, out, dest)
+            self.kernel_invocations += 1
+            self._verify_first_use(
+                ("auto", x.shape[1], galois_k),
+                lambda: self._reference_backend().automorphism_eval_batch(
+                    x, galois_k, tuple(primes)), out)
+            if obs is not None:
+                obs.count("backend.compiled.kernels.auto")
+                obs.end()
+            return out
+        self._note_fallback()
+        return super().automorphism_eval_batch(values, galois_k, primes)
+
+    # -- fused keyswitch inner loop ------------------------------------------
+
+    def keyswitch_inner_product(self, digit_stack: np.ndarray,
+                                b_stack: np.ndarray, a_stack: np.ndarray,
+                                primes: tuple[int, ...],
+                                ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused decompose-side inner product: ``sum_d digit_d * b_d``
+        and ``sum_d digit_d * a_d`` over ``(D, R, n)`` stacks in one
+        compiled call, reduced per limb on return.
+
+        The lazy (single-final-reduction) accumulator is selected by the
+        derived gate :func:`~repro.analysis.bounds
+        .keyswitch_lazy_accumulate_ok`; otherwise products reduce as
+        they are added.  Moduli whose single products overflow uint64
+        are the caller's (object-dtype) problem — this method refuses
+        them.
+        """
+        digit_stack = np.ascontiguousarray(digit_stack, dtype=np.uint64)
+        b_stack = np.ascontiguousarray(b_stack, dtype=np.uint64)
+        a_stack = np.ascontiguousarray(a_stack, dtype=np.uint64)
+        num_digits, rows, n = digit_stack.shape
+        maxq = max(primes)
+        lazy_ok = keyswitch_lazy_accumulate_ok(num_digits, maxq)
+        reduced_ok = mul_fits_uint64(maxq - 1, maxq - 1)
+        if not reduced_ok and not lazy_ok:
+            raise ValueError(
+                "keyswitch_inner_product requires single digit-key "
+                "products to fit uint64; use the object-dtype "
+                "accumulate_keyswitch path for wider moduli")
+        q_arr = np.array(primes, dtype=np.uint64)
+        impl = self._impl
+        obs = current_obs_hook()
+        if impl is not None:
+            mu_arr = np.array([(1 << 64) // q for q in primes],
+                              dtype=np.uint64)
+            if obs is not None:
+                obs.begin("compiled.keyswitch.inner_product", cat="kernel",
+                          digits=num_digits, limbs=rows, n=n,
+                          provider=impl.name)
+            acc0 = np.empty((rows, n), dtype=np.uint64)
+            acc1 = np.empty((rows, n), dtype=np.uint64)
+            if lazy_ok:
+                cjit_ks_accum_lazy(impl, digit_stack, b_stack, a_stack,
+                                   acc0, acc1, q_arr, mu_arr)
+            else:
+                cjit_ks_accum_reduced(impl, digit_stack, b_stack, a_stack,
+                                      acc0, acc1, q_arr, mu_arr)
+            self.kernel_invocations += 1
+            self._verify_first_use(
+                ("keyswitch", num_digits, rows, n, tuple(primes)),
+                lambda: (digit_stack * b_stack % q_arr[None, :, None]).sum(
+                    axis=0, dtype=np.uint64) % q_arr[:, None], acc0)
+            if obs is not None:
+                obs.count("backend.compiled.kernels.keyswitch")
+                obs.end(lazy=lazy_ok)
+            return acc0, acc1
+        # No provider: the per-step reduced numpy loop (identical
+        # residues; single products proven to fit above).
+        self._note_fallback()
+        q_col = q_arr[:, None]
+        acc0 = np.zeros((rows, n), dtype=np.uint64)
+        acc1 = np.zeros((rows, n), dtype=np.uint64)
+        for d in range(num_digits):
+            acc0 = (acc0 + digit_stack[d] * b_stack[d] % q_col) % q_col
+            acc1 = (acc1 + digit_stack[d] * a_stack[d] % q_col) % q_col
+        return acc0, acc1

@@ -1,0 +1,346 @@
+/* Fused negacyclic-NTT / automorphism / keyswitch kernels.
+ *
+ * This file is the C provider behind ``repro.kernels.CompiledBackend``:
+ * it is compiled at first use by ``repro/kernels/cext.py`` with the host
+ * C compiler (``cc -O3 -shared -fPIC`` plus ``-fopenmp`` when the
+ * toolchain supports it) and loaded through ctypes.  Every entry point
+ * operates on a full (L, n) residue matrix and runs *all* butterfly
+ * stages of every limb in one call — no per-stage dispatch, no
+ * temporaries beyond the caller-provided workspace.
+ *
+ * The arithmetic mirrors the analyzed numpy stage plans line for line
+ * (``repro.analysis.stage_plans``), so the eligibility gates derived
+ * there (``repro.analysis.bounds``) carry over:
+ *
+ * - Shoup butterflies (``*_sh`` tables, 2**32 radix) when
+ *   ``ntt_shoup_ok`` holds (q < 2**30);
+ * - Barrett reduction (``mu = floor(2**64 / q)``) for the lazy paths of
+ *   wider moduli up to 2**31;
+ * - the clamp-free inverse schedule only under ``unclamped_dit_ok``;
+ * - the unreduced keyswitch accumulator only under
+ *   ``keyswitch_lazy_accumulate_ok``.
+ *
+ * Outputs are always fully reduced (< q), which is what makes the
+ * backend bit-identical to the numpy and VPU paths: the reduced residue
+ * is unique regardless of the internal reduction schedule.
+ */
+
+#include <stdint.h>
+
+typedef uint64_t u64;
+typedef int64_t i64;
+typedef unsigned __int128 u128;
+
+/* Each entry point sets `par_rows` to its outer (independent-rows)
+ * extent before the pragma; small batches stay serial so the threading
+ * threshold, not the caller, decides when OpenMP pays. */
+#ifdef _OPENMP
+#define PARALLEL_LIMBS \
+    _Pragma("omp parallel for schedule(static) if (par_rows > 1 && par_rows * n >= 16384)")
+#else
+#define PARALLEL_LIMBS
+#endif
+
+/* Barrett reduction of an arbitrary uint64 value z modulo q, with the
+ * precomputed constant mu = floor(2**64 / q).  The estimate
+ * floor(z * mu / 2**64) undershoots floor(z / q) by at most 2, so the
+ * correction loop runs at most twice. */
+static inline u64 barrett_mod(u64 z, u64 q, u64 mu) {
+    u64 est = (u64)(((u128)z * mu) >> 64);
+    u64 r = z - est * q;
+    while (r >= q) r -= q;
+    return r;
+}
+
+/* Shoup multiplication x * w mod q, lazily in [0, 2q).  w_sh is the
+ * precomputed companion floor(w * 2**32 / q); requires q < 2**30 and
+ * x below the 2**32 precision radix (the S002/S003 preconditions the
+ * analyzer checks). */
+static inline u64 shoup_mul_lazy(u64 x, u64 w, u64 w_sh, u64 q) {
+    u64 est = (x * w_sh) >> 32;
+    return x * w - est * q;
+}
+
+/* ------------------------------------------------------------------ */
+/* Forward negacyclic NTT, all stages fused.                          */
+/*                                                                    */
+/* in/out/work: (L, n) row-major.  psi/psi_sh: (L, n) folding tables.  */
+/* twf/twf_sh: per-limb flattened DIF stage twiddles (lengths n/2,    */
+/* n/4, .., 1 concatenated -> n - 1 entries per limb).  bitrev: the   */
+/* length-n involution undoing the DIF output order.  use_shoup       */
+/* selects the mod-free butterfly (gate: ntt_shoup_ok).               */
+/* ------------------------------------------------------------------ */
+void repro_fwd_ntt_batch(const u64 *in, u64 *out, u64 *work,
+                         i64 L, i64 n,
+                         const u64 *q_arr, const u64 *mu_arr,
+                         const u64 *psi, const u64 *psi_sh,
+                         const u64 *twf, const u64 *twf_sh,
+                         const i64 *bitrev, int use_shoup) {
+    const i64 par_rows = L;
+    PARALLEL_LIMBS
+    for (i64 l = 0; l < par_rows; l++) {
+        const u64 q = q_arr[l], mu = mu_arr[l], two_q = 2 * q;
+        const u64 *x = in + l * n;
+        const u64 *ps = psi + l * n;
+        const u64 *tw = twf + l * (n - 1);
+        u64 *a = work + l * n;
+
+        /* psi fold: x * psi^j, into [0, 2q) (Shoup) or [0, q). */
+        if (use_shoup) {
+            const u64 *ps_sh = psi_sh + l * n;
+            for (i64 i = 0; i < n; i++) {
+                u64 v = x[i];
+                if (v >= q) v %= q;
+                a[i] = shoup_mul_lazy(v, ps[i], ps_sh[i], q);
+            }
+        } else {
+            for (i64 i = 0; i < n; i++) {
+                u64 v = x[i];
+                if (v >= q) v %= q;
+                a[i] = barrett_mod(v * ps[i], q, mu);
+            }
+        }
+
+        /* Gentleman-Sande DIF stages, lazy (< 2q lanes throughout). */
+        i64 toff = 0;
+        const u64 *tw_sh = use_shoup ? twf_sh + l * (n - 1) : 0;
+        for (i64 len = n >> 1; len >= 2; len >>= 1) {
+            const u64 *wt = tw + toff;
+            for (i64 start = 0; start < n; start += 2 * len) {
+                u64 *pu = a + start;
+                u64 *pv = a + start + len;
+                if (use_shoup) {
+                    const u64 *wt_sh = tw_sh + toff;
+                    for (i64 j = 0; j < len; j++) {
+                        u64 u = pu[j], v = pv[j];
+                        u64 t = u + v; /* < 4q */
+                        if (t >= two_q) t -= two_q;
+                        u64 d = u + two_q - v; /* < 4q < 2**32 */
+                        pu[j] = t;
+                        pv[j] = shoup_mul_lazy(d, wt[j], wt_sh[j], q);
+                    }
+                } else {
+                    for (i64 j = 0; j < len; j++) {
+                        u64 u = pu[j], v = pv[j];
+                        u64 t = u + v;
+                        if (t >= two_q) t -= two_q;
+                        u64 d = u + two_q - v; /* (4q-1)(q-1) < 2**64 */
+                        pu[j] = t;
+                        pv[j] = barrett_mod(d * wt[j], q, mu);
+                    }
+                }
+            }
+            toff += len;
+        }
+        /* Last stage (len == 1): the single twiddle is omega**0 == 1
+         * for every prime -- skip the product, clamp the difference. */
+        if (n >= 2) {
+            for (i64 start = 0; start < n; start += 2) {
+                u64 u = a[start], v = a[start + 1];
+                u64 t = u + v;
+                if (t >= two_q) t -= two_q;
+                u64 d = u + two_q - v;
+                if (d >= two_q) d -= two_q;
+                a[start] = t;
+                a[start + 1] = d;
+            }
+        }
+
+        /* Undo the DIF output order (bit reversal is an involution: a
+         * gather with the same table) and finish the < q reduction. */
+        u64 *o = out + l * n;
+        for (i64 i = 0; i < n; i++) {
+            u64 t = a[bitrev[i]];
+            if (t >= q) t -= q;
+            o[i] = t;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Inverse negacyclic NTT, all stages fused.                          */
+/*                                                                    */
+/* twi/twi_sh: flattened DIT stage twiddles (lengths 1, 2, .., n/2).  */
+/* unfold/unfold_sh: fused psi^{-j} * n^{-1} tables.  mode: 0 = lazy  */
+/* Barrett, 1 = lazy Shoup (gate: ntt_shoup_ok), 2 = clamp-free       */
+/* (gate: unclamped_dit_ok).                                          */
+/* ------------------------------------------------------------------ */
+void repro_inv_ntt_batch(const u64 *in, u64 *out, u64 *work,
+                         i64 L, i64 n,
+                         const u64 *q_arr, const u64 *mu_arr,
+                         const u64 *twi, const u64 *twi_sh,
+                         const u64 *unfold, const u64 *unfold_sh,
+                         const i64 *bitrev, int mode) {
+    const i64 par_rows = L;
+    PARALLEL_LIMBS
+    for (i64 l = 0; l < par_rows; l++) {
+        const u64 q = q_arr[l], mu = mu_arr[l], two_q = 2 * q;
+        const u64 *x = in + l * n;
+        const u64 *tw = twi + l * (n - 1);
+        const u64 *uf = unfold + l * n;
+        u64 *a = work + l * n;
+        u64 *o = out + l * n;
+
+        /* Natural order -> bit-reversed DIT input, reduced < q. */
+        for (i64 i = 0; i < n; i++) {
+            u64 v = x[bitrev[i]];
+            if (v >= q) v %= q;
+            a[i] = v;
+        }
+
+        i64 toff = 0;
+        if (mode == 2) {
+            /* Clamp-free schedule: lanes grow by exactly +q per stage
+             * (the twiddled half is freshly reduced); the gate proved
+             * every intermediate, including the fused unfold product
+             * below, fits uint64. */
+            for (i64 len = 1; len < n; len <<= 1) {
+                const u64 *wt = tw + toff;
+                for (i64 start = 0; start < n; start += 2 * len) {
+                    u64 *pu = a + start;
+                    u64 *pv = a + start + len;
+                    if (len == 1) {
+                        /* Stage 0 twiddle is omega**0 == 1. */
+                        u64 u = pu[0], v = pv[0];
+                        pu[0] = u + v;
+                        pv[0] = u + q - v;
+                    } else {
+                        for (i64 j = 0; j < len; j++) {
+                            u64 u = pu[j];
+                            u64 v = barrett_mod(pv[j] * wt[j], q, mu);
+                            pu[j] = u + v;
+                            pv[j] = u + q - v;
+                        }
+                    }
+                }
+                toff += len;
+            }
+            for (i64 i = 0; i < n; i++)
+                o[i] = barrett_mod(a[i] * uf[i], q, mu);
+        } else if (mode == 1) {
+            /* Lazy Shoup schedule: < 2q lanes, mod-free twiddle
+             * products, Shoup unfold plus one conditional subtract. */
+            const u64 *tw_sh = twi_sh + l * (n - 1);
+            const u64 *uf_sh = unfold_sh + l * n;
+            for (i64 len = 1; len < n; len <<= 1) {
+                const u64 *wt = tw + toff;
+                const u64 *wt_sh = tw_sh + toff;
+                for (i64 start = 0; start < n; start += 2 * len) {
+                    u64 *pu = a + start;
+                    u64 *pv = a + start + len;
+                    for (i64 j = 0; j < len; j++) {
+                        u64 u = pu[j];
+                        u64 vin = pv[j];
+                        u64 v = (len == 1)
+                                    ? vin
+                                    : shoup_mul_lazy(vin, wt[j], wt_sh[j], q);
+                        u64 t = u + v;
+                        if (t >= two_q) t -= two_q;
+                        u64 d = u + two_q - v;
+                        if (d >= two_q) d -= two_q;
+                        pu[j] = t;
+                        pv[j] = d;
+                    }
+                }
+                toff += len;
+            }
+            for (i64 i = 0; i < n; i++) {
+                u64 r = shoup_mul_lazy(a[i], uf[i], uf_sh[i], q);
+                if (r >= q) r -= q;
+                o[i] = r;
+            }
+        } else {
+            /* Lazy Barrett schedule (2**30 <= q < 2**31). */
+            for (i64 len = 1; len < n; len <<= 1) {
+                const u64 *wt = tw + toff;
+                for (i64 start = 0; start < n; start += 2 * len) {
+                    u64 *pu = a + start;
+                    u64 *pv = a + start + len;
+                    for (i64 j = 0; j < len; j++) {
+                        u64 u = pu[j];
+                        u64 vin = pv[j];
+                        u64 v = (len == 1)
+                                    ? vin
+                                    : barrett_mod(vin * wt[j], q, mu);
+                        u64 t = u + v;
+                        if (t >= two_q) t -= two_q;
+                        u64 d = u + two_q - v;
+                        if (d >= two_q) d -= two_q;
+                        pu[j] = t;
+                        pv[j] = d;
+                    }
+                }
+                toff += len;
+            }
+            for (i64 i = 0; i < n; i++)
+                o[i] = barrett_mod(a[i] * uf[i], q, mu);
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Batched evaluation-domain automorphism: one prime-independent       */
+/* gather applied to every limb (dest[i] is where slot i lands).      */
+/* ------------------------------------------------------------------ */
+void repro_auto_batch(const u64 *in, u64 *out, i64 L, i64 n,
+                      const i64 *dest) {
+    const i64 par_rows = L;
+    PARALLEL_LIMBS
+    for (i64 l = 0; l < par_rows; l++) {
+        const u64 *x = in + l * n;
+        u64 *o = out + l * n;
+        for (i64 i = 0; i < n; i++)
+            o[dest[i]] = x[i];
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fused keyswitch inner loop: acc0 = sum_d digit_d * b_d and          */
+/* acc1 = sum_d digit_d * a_d over (D, R, n) stacks, reduced per limb.*/
+/*                                                                    */
+/* lazy == 1 accumulates raw uint64 products with a single final      */
+/* Barrett reduction (gate: keyswitch_lazy_accumulate_ok); otherwise  */
+/* every product is Barrett-reduced as it is added and the running    */
+/* sum is kept < q with a conditional subtract.                       */
+/* ------------------------------------------------------------------ */
+void repro_ks_accum(const u64 *digits, const u64 *bstack, const u64 *astack,
+                    u64 *acc0, u64 *acc1, i64 D, i64 R, i64 n,
+                    const u64 *q_arr, const u64 *mu_arr, int lazy) {
+    const i64 par_rows = R;
+    PARALLEL_LIMBS
+    for (i64 r = 0; r < par_rows; r++) {
+        const u64 q = q_arr[r], mu = mu_arr[r];
+        u64 *s0 = acc0 + r * n;
+        u64 *s1 = acc1 + r * n;
+        for (i64 k = 0; k < n; k++) {
+            s0[k] = 0;
+            s1[k] = 0;
+        }
+        for (i64 d = 0; d < D; d++) {
+            const u64 *dd = digits + (d * R + r) * n;
+            const u64 *bb = bstack + (d * R + r) * n;
+            const u64 *aa = astack + (d * R + r) * n;
+            if (lazy) {
+                for (i64 k = 0; k < n; k++) {
+                    s0[k] += dd[k] * bb[k];
+                    s1[k] += dd[k] * aa[k];
+                }
+            } else {
+                for (i64 k = 0; k < n; k++) {
+                    u64 t0 = s0[k] + barrett_mod(dd[k] * bb[k], q, mu);
+                    if (t0 >= q) t0 -= q;
+                    u64 t1 = s1[k] + barrett_mod(dd[k] * aa[k], q, mu);
+                    if (t1 >= q) t1 -= q;
+                    s0[k] = t0;
+                    s1[k] = t1;
+                }
+            }
+        }
+        if (lazy) {
+            for (i64 k = 0; k < n; k++) {
+                s0[k] = barrett_mod(s0[k], q, mu);
+                s1[k] = barrett_mod(s1[k], q, mu);
+            }
+        }
+    }
+}

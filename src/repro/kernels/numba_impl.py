@@ -1,0 +1,206 @@
+"""Optional Numba provider: ``@njit(parallel=True)`` mirrors of
+``kernels.c``.
+
+Import-guarded — Numba is *not* a dependency; when it is absent
+``HAVE_NUMBA`` is False and :func:`repro.kernels.provider
+.resolve_provider` moves on to the C-extension provider or the numpy
+fallback.  The kernels mirror the C schedules with one systematic
+substitution: where C uses Barrett reduction (128-bit multiply-high,
+unavailable to Numba), these use a true ``%`` — a reduced value is a
+reduced value, so outputs stay bit-identical, just a little slower on
+the ``q >= 2**30`` Barrett regime.  All uint64 arithmetic keeps both
+operands uint64 so Numba never promotes through float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - exercised by the no-numba CI leg
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:
+    _SH = np.uint64(32)
+
+    @njit(cache=True, parallel=True, nogil=True)
+    def _fwd_ntt(x, out, work, q_arr, psi, psi_sh, twf, twf_sh, bitrev,
+                 use_shoup):  # pragma: no cover - jitted, CI numba leg
+        rows, n = x.shape
+        for row in prange(rows):
+            q = q_arr[row]
+            two_q = q + q
+            a = work[row]
+            for i in range(n):
+                v = x[row, i]
+                if v >= q:
+                    v = v % q
+                if use_shoup:
+                    est = (v * psi_sh[row, i]) >> _SH
+                    a[i] = v * psi[row, i] - est * q
+                else:
+                    a[i] = v * psi[row, i] % q
+            toff = 0
+            length = n >> 1
+            while length >= 2:
+                start = 0
+                while start < n:
+                    for j in range(length):
+                        u = a[start + j]
+                        v = a[start + length + j]
+                        t = u + v
+                        if t >= two_q:
+                            t -= two_q
+                        d = u + two_q - v
+                        w = twf[row, toff + j]
+                        if use_shoup:
+                            est = (d * twf_sh[row, toff + j]) >> _SH
+                            d = d * w - est * q
+                        else:
+                            d = d * w % q
+                        a[start + j] = t
+                        a[start + length + j] = d
+                    start += 2 * length
+                toff += length
+                length >>= 1
+            for start in range(0, n, 2):
+                u = a[start]
+                v = a[start + 1]
+                t = u + v
+                if t >= two_q:
+                    t -= two_q
+                d = u + two_q - v
+                if d >= two_q:
+                    d -= two_q
+                a[start] = t
+                a[start + 1] = d
+            o = out[row]
+            for i in range(n):
+                t = a[bitrev[i]]
+                if t >= q:
+                    t -= q
+                o[i] = t
+
+    @njit(cache=True, parallel=True, nogil=True)
+    def _inv_ntt(x, out, work, q_arr, twi, twi_sh, unfold, unfold_sh,
+                 bitrev, mode):  # pragma: no cover - jitted, CI numba leg
+        rows, n = x.shape
+        for row in prange(rows):
+            q = q_arr[row]
+            two_q = q + q
+            a = work[row]
+            o = out[row]
+            for i in range(n):
+                v = x[row, bitrev[i]]
+                if v >= q:
+                    v = v % q
+                a[i] = v
+            toff = 0
+            length = 1
+            while length < n:
+                start = 0
+                while start < n:
+                    for j in range(length):
+                        u = a[start + j]
+                        v = a[start + length + j]
+                        if length > 1:
+                            if mode == 1:
+                                est = (v * twi_sh[row, toff + j]) >> _SH
+                                v = v * twi[row, toff + j] - est * q
+                            else:
+                                v = v * twi[row, toff + j] % q
+                        if mode == 2:
+                            a[start + j] = u + v
+                            a[start + length + j] = u + q - v
+                        else:
+                            t = u + v
+                            if t >= two_q:
+                                t -= two_q
+                            d = u + two_q - v
+                            if d >= two_q:
+                                d -= two_q
+                            a[start + j] = t
+                            a[start + length + j] = d
+                    start += 2 * length
+                toff += length
+                length <<= 1
+            if mode == 1:
+                for i in range(n):
+                    est = (a[i] * unfold_sh[row, i]) >> _SH
+                    r = a[i] * unfold[row, i] - est * q
+                    if r >= q:
+                        r -= q
+                    o[i] = r
+            else:
+                for i in range(n):
+                    o[i] = a[i] * unfold[row, i] % q
+
+    @njit(cache=True, parallel=True, nogil=True)
+    def _auto(x, out, dest):  # pragma: no cover - jitted, CI numba leg
+        rows, n = x.shape
+        for row in prange(rows):
+            for i in range(n):
+                out[row, dest[i]] = x[row, i]
+
+    @njit(cache=True, parallel=True, nogil=True)
+    def _ks_accum(digits, bstack, astack, acc0, acc1, q_arr,
+                  lazy):  # pragma: no cover - jitted, CI numba leg
+        num_digits, rows, n = digits.shape
+        for r in prange(rows):
+            q = q_arr[r]
+            s0 = acc0[r]
+            s1 = acc1[r]
+            for k in range(n):
+                s0[k] = 0
+                s1[k] = 0
+            for d in range(num_digits):
+                dd = digits[d, r]
+                bb = bstack[d, r]
+                aa = astack[d, r]
+                if lazy:
+                    for k in range(n):
+                        s0[k] += dd[k] * bb[k]
+                        s1[k] += dd[k] * aa[k]
+                else:
+                    for k in range(n):
+                        t0 = s0[k] + dd[k] * bb[k] % q
+                        if t0 >= q:
+                            t0 -= q
+                        t1 = s1[k] + dd[k] * aa[k] % q
+                        if t1 >= q:
+                            t1 -= q
+                        s0[k] = t0
+                        s1[k] = t1
+            if lazy:
+                for k in range(n):
+                    s0[k] = s0[k] % q
+                    s1[k] = s1[k] % q
+
+
+class NumbaProvider:
+    """Provider protocol over the jitted kernels (requires Numba)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:  # pragma: no cover - guarded by resolve_provider
+            raise RuntimeError("numba is not importable")
+
+    def fwd_ntt(self, plan, x, out, work, use_shoup: bool) -> None:
+        _fwd_ntt(x, out, work, plan.q, plan.psi, plan.psi_sh,
+                 plan.twf, plan.twf_sh, plan.bitrev, use_shoup)
+
+    def inv_ntt(self, plan, x, out, work, mode: int) -> None:
+        _inv_ntt(x, out, work, plan.q, plan.twi, plan.twi_sh,
+                 plan.unfold, plan.unfold_sh, plan.bitrev, mode)
+
+    def auto(self, x, out, dest) -> None:
+        _auto(x, out, dest)
+
+    def ks_accum(self, digits, bstack, astack, acc0, acc1, q_arr, mu_arr,
+                 lazy: bool) -> None:
+        _ks_accum(digits, bstack, astack, acc0, acc1, q_arr, lazy)

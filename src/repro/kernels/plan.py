@@ -1,0 +1,155 @@
+"""Per-shape plans for the compiled fused kernels.
+
+A :class:`CompiledPlan` gathers, for one ``(n, primes)`` batch shape,
+every constant the fused C/Numba kernels consume: the stacked
+contiguous per-limb tables (moduli, Barrett constants, psi folds, flat
+stage twiddles, fused unfold scalings, Shoup companions) plus the
+analyzer-derived eligibility gates.  The per-modulus constants come
+from :class:`repro.ntt.tables.NttTables` — hoisted there so every
+backend shares one computation per ``(n, q)`` — and a plan only
+*stacks* them into the row-major layout the kernels index.
+
+Three process-global caches live here, all reset by
+:func:`clear_compiled_caches` (and therefore by the module-level
+:func:`repro.fhe.backend.clear_caches`):
+
+* the plan cache itself, with hit/miss counters mirroring the
+  ``VpuBackend`` program cache;
+* the per-shape workspace pool (the kernels' only scratch memory, so
+  steady-state dispatch allocates nothing but the output);
+* the automorphism destination tables (int64, contiguous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import compiled_ntt_ok, ntt_shoup_ok, unclamped_dit_ok
+from repro.ntt.tables import get_tables
+
+#: Placeholder for Shoup tables on shapes where the gate refuses them;
+#: the kernels never read it (``use_shoup`` is derived from the same
+#: gate) but the providers want a consistently-typed 2-D argument.
+_NO_TABLE = np.empty((0, 0), dtype=np.uint64)
+
+
+class CompiledPlan:
+    """Constant tables plus derived gates for one ``(n, primes)`` shape.
+
+    ``lazy_stages_ok`` (from :func:`~repro.analysis.bounds
+    .compiled_ntt_ok`) decides whether the fused kernels may run at all;
+    when it is False the plan stays table-less and the backend falls
+    back to numpy.  ``shoup_ok`` and ``unclamped_ok`` select the
+    mod-free butterfly and the clamp-free inverse schedule, again
+    analyzer-derived rather than hand-coded width checks.
+    """
+
+    def __init__(self, n: int, primes: tuple[int, ...]):
+        self.n = n
+        self.primes = primes
+        self.log_n = n.bit_length() - 1
+        max_q = max(primes)
+        self.lazy_stages_ok = (n >= 2 and not (n & (n - 1))
+                               and compiled_ntt_ok(self.log_n, max_q))
+        self.shoup_ok = self.lazy_stages_ok and ntt_shoup_ok(self.log_n, max_q)
+        self.unclamped_ok = (self.lazy_stages_ok
+                             and unclamped_dit_ok(self.log_n, max_q))
+        if not self.lazy_stages_ok:
+            return  # ineligible shape: no tables, backend falls back
+        tabs = [get_tables(n, q) for q in primes]
+        stack = lambda rows: np.ascontiguousarray(np.stack(rows))  # noqa: E731
+        self.q = np.array(primes, dtype=np.uint64)
+        self.mu = np.array([t.barrett_mu for t in tabs], dtype=np.uint64)
+        self.psi = stack([t.psi_powers for t in tabs])
+        self.twf = stack([t.dif_twiddles_flat for t in tabs])
+        self.twi = stack([t.dit_twiddles_flat for t in tabs])
+        self.unfold = stack([t.psi_inv_ninv for t in tabs])
+        self.bitrev = np.ascontiguousarray(tabs[0].bitrev, dtype=np.int64)
+        if self.shoup_ok:
+            self.psi_sh = stack([t.psi_shoup for t in tabs])
+            self.twf_sh = stack([t.dif_twiddles_flat_shoup for t in tabs])
+            self.twi_sh = stack([t.dit_twiddles_flat_shoup for t in tabs])
+            self.unfold_sh = stack([t.psi_inv_ninv_shoup for t in tabs])
+        else:
+            self.psi_sh = self.twf_sh = _NO_TABLE
+            self.twi_sh = self.unfold_sh = _NO_TABLE
+
+
+class PlanCache:
+    """Keyed plan store with hit/miss counters — the compiled backend's
+    analogue of the ``VpuBackend`` program cache, surfaced through the
+    same obs gauge pattern."""
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple[int, tuple[int, ...]], CompiledPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, n: int, primes: tuple[int, ...]) -> CompiledPlan:
+        key = (n, primes)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = CompiledPlan(n, primes)
+        self._plans[key] = plan
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every plan and zero the counters (fresh cache instance)."""
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_PLAN_CACHE = PlanCache()
+_WORKSPACES: dict[tuple[int, int], np.ndarray] = {}
+_DESTINATIONS: dict[tuple[int, int], np.ndarray] = {}
+
+
+def plan_cache() -> PlanCache:
+    """The process-global plan cache (shared by every CompiledBackend)."""
+    return _PLAN_CACHE
+
+
+def get_plan(n: int, primes: tuple[int, ...]) -> CompiledPlan:
+    """Cached plan lookup for one batch shape."""
+    return _PLAN_CACHE.get(n, primes)
+
+
+def get_workspace(rows: int, n: int) -> np.ndarray:
+    """Reusable ``(rows, n)`` uint64 scratch buffer for one dispatch."""
+    key = (rows, n)
+    buf = _WORKSPACES.get(key)
+    if buf is None:
+        buf = np.empty((rows, n), dtype=np.uint64)
+        _WORKSPACES[key] = buf
+    return buf
+
+
+def get_destinations(n: int, galois_k: int) -> np.ndarray:
+    """Contiguous int64 destination table of the Galois permutation
+    ``X -> X**galois_k`` (slot ``i`` lands at ``dest[i]``)."""
+    key = (n, galois_k)
+    dest = _DESTINATIONS.get(key)
+    if dest is None:
+        from repro.automorphism.mapping import galois_eval_permutation
+
+        dest = np.ascontiguousarray(
+            galois_eval_permutation(n, galois_k).destinations(),
+            dtype=np.int64)
+        _DESTINATIONS[key] = dest
+    return dest
+
+
+def clear_compiled_caches() -> None:
+    """Reset every compiled-backend cache: plans (constant tables plus
+    counters), workspace buffers, and automorphism destination tables.
+    Wired into the module-level :func:`repro.fhe.backend.clear_caches`."""
+    _PLAN_CACHE.clear()
+    _WORKSPACES.clear()
+    _DESTINATIONS.clear()

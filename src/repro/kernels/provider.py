@@ -1,0 +1,104 @@
+"""JIT provider resolution and the gated ``cjit_*`` kernel entries.
+
+Provider order is Numba first (when importable), then the
+runtime-compiled C extension, then ``None`` (the backend falls back to
+numpy) — overridable with ``REPRO_JIT=numba|cext|none``.
+
+The ``cjit_*`` functions are the *only* way production code invokes a
+compiled kernel.  Names carry the reduction discipline: a ``*_lazy`` /
+``*_unclamped`` entry runs a lazy-reduction schedule whose soundness is
+conditional on an analyzer-derived gate (``compiled_ntt_ok``,
+``unclamped_dit_ok``, ``keyswitch_lazy_accumulate_ok`` — surfaced as
+``*_ok`` plan attributes/locals at the call site), and the FHC007 lint
+rule statically rejects any call that is not under such a gate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def resolve_provider(name: str | None = None):
+    """Pick the compiled-kernel provider.
+
+    ``name`` (or ``$REPRO_JIT``) selects ``numba``, ``cext`` or ``none``
+    explicitly; unset/``auto`` tries Numba then the C extension.
+    Returns ``None`` when the chosen provider is unavailable — the
+    backend then degrades to the numpy path.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_JIT", "auto").strip().lower() or "auto"
+    if name in ("none", "off", "0"):
+        return None
+    if name not in ("auto", "numba", "cext"):
+        raise ValueError(
+            f"unknown REPRO_JIT provider {name!r} (numba|cext|none)")
+    if name in ("auto", "numba"):
+        from repro.kernels.numba_impl import HAVE_NUMBA, NumbaProvider
+
+        if HAVE_NUMBA:
+            return NumbaProvider()
+        if name == "numba":
+            return None
+    from repro.kernels.cext import load_provider
+
+    return load_provider()
+
+
+def cjit_fwd_ntt_lazy(impl, plan, x: np.ndarray, out: np.ndarray,
+                      work: np.ndarray) -> np.ndarray:
+    """Whole forward negacyclic NTT, lazy stages fused into one call.
+
+    Gate: ``plan.lazy_stages_ok`` (:func:`~repro.analysis.bounds
+    .compiled_ntt_ok`); the Shoup butterfly variant is selected by
+    ``plan.shoup_ok``.  Output fully reduced (< q)."""
+    impl.fwd_ntt(plan, x, out, work, plan.shoup_ok)
+    return out
+
+
+def cjit_inv_ntt_unclamped(impl, plan, x: np.ndarray, out: np.ndarray,
+                           work: np.ndarray) -> np.ndarray:
+    """Whole inverse NTT on the clamp-free schedule (lanes grow ``+q``
+    per stage).  Gate: ``plan.unclamped_ok`` (:func:`~repro.analysis
+    .bounds.unclamped_dit_ok`).  Output fully reduced (< q)."""
+    impl.inv_ntt(plan, x, out, work, 2)
+    return out
+
+
+def cjit_inv_ntt_lazy(impl, plan, x: np.ndarray, out: np.ndarray,
+                      work: np.ndarray) -> np.ndarray:
+    """Whole inverse NTT, lazy (< 2q) stages; Shoup variant under
+    ``plan.shoup_ok``, Barrett otherwise.  Gate:
+    ``plan.lazy_stages_ok``.  Output fully reduced (< q)."""
+    impl.inv_ntt(plan, x, out, work, 1 if plan.shoup_ok else 0)
+    return out
+
+
+def cjit_auto_batch(impl, x: np.ndarray, out: np.ndarray,
+                    dest: np.ndarray) -> np.ndarray:
+    """Batched evaluation-domain automorphism (pure gather — no
+    reduction discipline, hence no gate in the name)."""
+    impl.auto(x, out, dest)
+    return out
+
+
+def cjit_ks_accum_lazy(impl, digits: np.ndarray, bstack: np.ndarray,
+                       astack: np.ndarray, acc0: np.ndarray,
+                       acc1: np.ndarray, q_arr: np.ndarray,
+                       mu_arr: np.ndarray) -> None:
+    """Fused keyswitch inner product with the unreduced uint64
+    accumulator and one final reduction per limb.  Gate:
+    :func:`~repro.analysis.bounds.keyswitch_lazy_accumulate_ok`."""
+    impl.ks_accum(digits, bstack, astack, acc0, acc1, q_arr, mu_arr, True)
+
+
+def cjit_ks_accum_reduced(impl, digits: np.ndarray, bstack: np.ndarray,
+                          astack: np.ndarray, acc0: np.ndarray,
+                          acc1: np.ndarray, q_arr: np.ndarray,
+                          mu_arr: np.ndarray) -> None:
+    """Fused keyswitch inner product, every product reduced as it is
+    added (the per-step channel for digit counts the lazy gate
+    refuses; still requires single products to fit uint64)."""
+    impl.ks_accum(digits, bstack, astack, acc0, acc1, q_arr, mu_arr, False)

@@ -122,10 +122,9 @@ class BatchedNegacyclicNtt:
         self._psi = np.stack([t.psi_powers for t in self.tables])
         # Fused psi^{-j} * n^{-1} unfold table: the inverse transform's
         # lazy stage outputs (< 4q) hit exactly one final reduction.
-        self._psi_inv_ninv = np.stack([
-            t.psi_inv_powers * np.uint64(t.n_inv) % np.uint64(t.q)
-            for t in self.tables
-        ])
+        # (Hoisted per-modulus onto NttTables, shared with the compiled
+        # backend's constant-table plans.)
+        self._psi_inv_ninv = np.stack([t.psi_inv_ninv for t in self.tables])
         self._dif_tw = _stacked_stage_twiddles(self.tables, "dif")
         self._dit_tw = _stacked_stage_twiddles(self.tables, "dit")
         # Shoup companions make the forward butterfly and the psi folding
@@ -134,13 +133,9 @@ class BatchedNegacyclicNtt:
         if not clamped and all(q < (1 << 30) for q in primes):
             self._dif_shoup = _stacked_stage_twiddles(self.tables, "dif_shoup")
             self._dit_shoup = _stacked_stage_twiddles(self.tables, "dit_shoup")
-            self._psi_shoup = np.stack([
-                ((t.psi_powers.astype(object) << 32) // t.q).astype(np.uint64)
-                for t in self.tables
-            ])
-            self._unfold_shoup = (
-                (self._psi_inv_ninv.astype(object) << 32)
-                // self._q_col.astype(object)).astype(np.uint64)
+            self._psi_shoup = np.stack([t.psi_shoup for t in self.tables])
+            self._unfold_shoup = np.stack(
+                [t.psi_inv_ninv_shoup for t in self.tables])
         else:
             self._dif_shoup = None
             self._dit_shoup = None

@@ -68,6 +68,14 @@ class NttTables:
         self._dit_stage_twiddles: list[np.ndarray] | None = None
         self._dif_stage_twiddles_shoup: list[np.ndarray] | None = None
         self._dit_stage_twiddles_shoup: list[np.ndarray] | None = None
+        self._barrett_mu: int | None = None
+        self._psi_shoup: np.ndarray | None = None
+        self._psi_inv_ninv: np.ndarray | None = None
+        self._psi_inv_ninv_shoup: np.ndarray | None = None
+        self._dif_twiddles_flat: np.ndarray | None = None
+        self._dit_twiddles_flat: np.ndarray | None = None
+        self._dif_twiddles_flat_shoup: np.ndarray | None = None
+        self._dit_twiddles_flat_shoup: np.ndarray | None = None
 
     def _power_table(self, base: int, count: int, dtype) -> np.ndarray:
         powers = np.empty(count, dtype=dtype)
@@ -132,6 +140,88 @@ class NttTables:
             self._dit_stage_twiddles_shoup = self._shoup(
                 self.dit_stage_twiddles)
         return self._dit_stage_twiddles_shoup
+
+    # -- compiled-backend constant tables ----------------------------------
+    #
+    # The fused kernels (:mod:`repro.kernels`) consume per-modulus
+    # constants hoisted here so they are computed exactly once per
+    # ``(n, q)`` and shared by every backend that wants them: the
+    # Barrett constant, the Shoup psi companions, the fused
+    # ``psi^{-1} * n^{-1}`` unfold table, and the stage twiddles
+    # flattened into one contiguous vector per direction (DIF lengths
+    # ``n/2, .., 1`` and DIT lengths ``1, .., n/2`` both concatenate to
+    # exactly ``n - 1`` entries).
+
+    @property
+    def barrett_mu(self) -> int:
+        """Barrett constant ``floor(2**64 / q)``: the estimate
+        ``floor(z * mu / 2**64)`` undershoots ``floor(z / q)`` by at
+        most 2 for any uint64 ``z``, so reduction is two multiplies and
+        at most two conditional subtracts."""
+        if self._barrett_mu is None:
+            self._barrett_mu = (1 << 64) // self.q
+        return self._barrett_mu
+
+    @property
+    def psi_shoup(self) -> np.ndarray:
+        """Shoup companions of ``psi_powers`` for the mod-free
+        negacyclic fold (``q < 2**30``)."""
+        if self._psi_shoup is None:
+            self._psi_shoup = self._shoup([self.psi_powers])[0]
+        return self._psi_shoup
+
+    @property
+    def psi_inv_ninv(self) -> np.ndarray:
+        """Fused unfold table ``psi**(-j) * n**(-1) mod q``: the inverse
+        transform's final scaling collapsed into one product per lane."""
+        if self._psi_inv_ninv is None:
+            fused = self.psi_inv_powers.astype(object) * self.n_inv % self.q
+            self._psi_inv_ninv = (fused.astype(np.uint64)
+                                  if self.q < (1 << 31)
+                                  else fused)
+        return self._psi_inv_ninv
+
+    @property
+    def psi_inv_ninv_shoup(self) -> np.ndarray:
+        """Shoup companions of :attr:`psi_inv_ninv` (``q < 2**30``)."""
+        if self._psi_inv_ninv_shoup is None:
+            self._psi_inv_ninv_shoup = self._shoup([self.psi_inv_ninv])[0]
+        return self._psi_inv_ninv_shoup
+
+    def _concat(self, stages: list[np.ndarray]) -> np.ndarray:
+        if not stages:  # n == 1: a zero-stage transform
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(stages)
+
+    @property
+    def dif_twiddles_flat(self) -> np.ndarray:
+        """All DIF stage twiddles concatenated (``n - 1`` entries)."""
+        if self._dif_twiddles_flat is None:
+            self._dif_twiddles_flat = self._concat(self.dif_stage_twiddles)
+        return self._dif_twiddles_flat
+
+    @property
+    def dit_twiddles_flat(self) -> np.ndarray:
+        """All DIT stage twiddles concatenated (``n - 1`` entries)."""
+        if self._dit_twiddles_flat is None:
+            self._dit_twiddles_flat = self._concat(self.dit_stage_twiddles)
+        return self._dit_twiddles_flat
+
+    @property
+    def dif_twiddles_flat_shoup(self) -> np.ndarray:
+        """Shoup companions of :attr:`dif_twiddles_flat`."""
+        if self._dif_twiddles_flat_shoup is None:
+            self._dif_twiddles_flat_shoup = self._concat(
+                self.dif_stage_twiddles_shoup)
+        return self._dif_twiddles_flat_shoup
+
+    @property
+    def dit_twiddles_flat_shoup(self) -> np.ndarray:
+        """Shoup companions of :attr:`dit_twiddles_flat`."""
+        if self._dit_twiddles_flat_shoup is None:
+            self._dit_twiddles_flat_shoup = self._concat(
+                self.dit_stage_twiddles_shoup)
+        return self._dit_twiddles_flat_shoup
 
     def omega_power(self, exponent: int) -> int:
         """Return ``omega ** exponent mod q`` (any integer exponent)."""

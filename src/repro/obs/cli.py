@@ -34,6 +34,7 @@ from repro.obs.export import (
     metrics_snapshot,
     to_chrome_trace,
     validate_chrome_trace,
+    validate_envelope,
 )
 
 
@@ -269,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate-trace", metavar="PATH", default=None,
                         help="validate an emitted trace JSON against the "
                              "trace_event shape and exit")
+    parser.add_argument("--validate-envelope", metavar="PATH", default=None,
+                        help="validate a BENCH_*/OBS_* artifact JSON "
+                             "against the schema envelope and exit")
     return parser
 
 
@@ -285,10 +289,25 @@ def _validate(path: str) -> int:
     return 0
 
 
+def _validate_envelope(path: str) -> int:
+    with open(path) as fh:
+        obj = json.load(fh)
+    problems = validate_envelope(obj)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    print(f"{path}: valid schema:{obj['schema']} envelope "
+          f"(bench={obj['bench']!r})")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.validate_trace is not None:
         return _validate(args.validate_trace)
+    if args.validate_envelope is not None:
+        return _validate_envelope(args.validate_envelope)
 
     workload = _WORKLOADS[args.workload](quick=args.quick, seed=args.seed)
     result = profile(workload, args.m)

@@ -43,6 +43,30 @@ def host_envelope(bench: str) -> dict:
     }
 
 
+def validate_envelope(obj) -> list[str]:
+    """Shape-check a BENCH_*/OBS_* artifact envelope; returns problems
+    (empty = ok).  The check CI runs against committed benchmark JSON
+    before archiving: schema version must match :data:`SCHEMA_VERSION`,
+    ``bench`` names the artifact, and the host fingerprint carries the
+    machine/python/numpy triple."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not an object"]
+    if obj.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema is {obj.get('schema')!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(obj.get("bench"), str) or not obj.get("bench"):
+        problems.append("missing non-empty 'bench' name")
+    host = obj.get("host")
+    if not isinstance(host, dict):
+        problems.append("missing 'host' object")
+    else:
+        for key in ("machine", "python", "numpy"):
+            if not isinstance(host.get(key), str):
+                problems.append(f"host missing string {key!r}")
+    return problems
+
+
 # -- Chrome trace_event ------------------------------------------------------
 
 

@@ -217,6 +217,54 @@ class TestFHC006ObsHookGuard:
         assert "FHC005" in rules and "FHC006" in rules
 
 
+class TestFHC007CompiledGateGuard:
+    def test_flags_ungated_lazy_kernel(self):
+        assert "FHC007" in _rules("""
+            def f(impl, plan, x, out, work):
+                cjit_fwd_ntt_lazy(impl, plan, x, out, work)
+            """)
+
+    def test_gate_alias_exempts(self):
+        assert _rules("""
+            def f(impl, plan, x, out, work):
+                use_ok = plan is not None and plan.lazy_stages_ok
+                if use_ok:
+                    cjit_fwd_ntt_lazy(impl, plan, x, out, work)
+            """) == []
+
+    def test_direct_gate_attribute_exempts(self):
+        assert _rules("""
+            def f(impl, plan, x, out, work):
+                if plan.unclamped_ok:
+                    cjit_inv_ntt_unclamped(impl, plan, x, out, work)
+                else:
+                    if plan.lazy_stages_ok:
+                        cjit_inv_ntt_lazy(impl, plan, x, out, work)
+            """) == []
+
+    def test_ungated_call_in_else_branch_flagged(self):
+        assert "FHC007" in _rules("""
+            def f(impl, plan, x, out, work):
+                if plan.unclamped_ok:
+                    cjit_inv_ntt_unclamped(impl, plan, x, out, work)
+                else:
+                    cjit_inv_ntt_lazy(impl, plan, x, out, work)
+            """)
+
+    def test_non_lazy_entries_exempt(self):
+        assert _rules("""
+            def f(impl, x, out, dest, acc0, acc1, q, mu):
+                cjit_auto_batch(impl, x, out, dest)
+                cjit_ks_accum_reduced(impl, x, x, x, acc0, acc1, q, mu)
+            """) == []
+
+    def test_suppression(self):
+        assert _rules("""
+            def f(impl, plan, x, out, work):
+                cjit_fwd_ntt_lazy(impl, plan, x, out, work)  # fhecheck: ok=FHC007
+            """) == []
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         assert _rules("""

@@ -1,0 +1,289 @@
+"""The compiled fused-kernel backend (:mod:`repro.kernels`).
+
+Three-way **bit-equality** is the contract under test: for every
+kernel (forward/inverse NTT batch, automorphism batch, the fused
+keyswitch inner product) the compiled backend must agree bit for bit
+with both the numpy reference and the behavioral VPU, across the
+boundary-modulus regimes the analyzer gates distinguish — and with no
+JIT provider at all it must degrade to the inherited numpy path, still
+bit-identically.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.arith.primes import find_ntt_prime, find_ntt_primes, is_prime
+from repro.fhe.backend import (
+    IntegrityBackend,
+    NumpyBackend,
+    VpuBackend,
+    backend_from_env,
+    clear_caches,
+    use_backend,
+)
+from repro.kernels import CompiledBackend, get_plan, plan_cache
+from repro.kernels.provider import resolve_provider
+from repro.obs import Observer, install_obs_hook
+
+N = 64
+LOG_N = 6
+LIMBS = 3
+
+
+def _prime_just_above(order: int, floor: int) -> int:
+    q = floor + 1 + (-floor % order)
+    while not (q % order == 1 and is_prime(q)):
+        q += order
+    return q
+
+
+@pytest.fixture(scope="module")
+def boundary_primes():
+    return {
+        "below_2^30": find_ntt_prime(2 * N, 30),
+        "above_2^30": _prime_just_above(2 * N, 1 << 30),
+        "below_2^31": find_ntt_prime(2 * N, 31),
+    }
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    backend = CompiledBackend()
+    if backend.provider_name is None:
+        pytest.skip("no JIT provider available (numba or a C compiler)")
+    return backend
+
+
+def _rows(primes, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, min(primes), size=(len(primes), N),
+                        dtype=np.uint64)
+
+
+class TestThreeWayBitEquality:
+    """compiled == numpy == VPU, per boundary-modulus regime."""
+
+    @pytest.mark.parametrize("regime", ["below_2^30", "above_2^30",
+                                        "below_2^31"])
+    def test_forward_inverse_ntt(self, compiled, boundary_primes, regime):
+        q = boundary_primes[regime]
+        primes = tuple(
+            find_ntt_primes(2 * N, q.bit_length(), LIMBS)
+            if regime != "above_2^30" else [q] * 1)
+        x = _rows(primes)
+        fwd = {}
+        inv = {}
+        for backend in (compiled, NumpyBackend(), VpuBackend(m=16)):
+            with use_backend(backend):
+                fwd[backend.name] = backend.forward_ntt_batch(x, primes)
+                inv[backend.name] = backend.inverse_ntt_batch(
+                    fwd[backend.name], primes)
+        assert np.array_equal(fwd["compiled"], fwd["numpy"])
+        assert np.array_equal(fwd["compiled"], fwd["vpu"])
+        assert np.array_equal(inv["compiled"], inv["numpy"])
+        assert np.array_equal(inv["compiled"], x)
+
+    def test_automorphism_batch(self, compiled, boundary_primes):
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        x = compiled.forward_ntt_batch(_rows(primes), primes)
+        for k in (5, 2 * N - 1):
+            a_c = compiled.automorphism_eval_batch(x, k, primes)
+            a_n = NumpyBackend().automorphism_eval_batch(x, k, primes)
+            a_v = VpuBackend(m=16).automorphism_eval_batch(x, k, primes)
+            assert np.array_equal(a_c, a_n)
+            assert np.array_equal(a_c, a_v)
+
+    def test_wide_modulus_falls_back_to_object_path(self, compiled):
+        # q >= 2**32: no compiled plan exists; the inherited numpy path
+        # (object-dtype per-row) must serve the batch bit-identically.
+        q = _prime_just_above(2 * N, 1 << 32)
+        primes = (q,)
+        x = _rows(primes)
+        plan = get_plan(N, primes)
+        assert not plan.lazy_stages_ok
+        before = compiled.fallbacks
+        out = compiled.forward_ntt_batch(x, primes)
+        assert compiled.fallbacks > before
+        assert np.array_equal(out, NumpyBackend().forward_ntt_batch(x, primes))
+
+    def test_full_keyswitch_three_backends(self, compiled):
+        from repro.fhe.ckks import CkksContext
+        from repro.fhe.keyswitch import apply_keyswitch
+        from repro.fhe.params import toy_params
+
+        ctx = CkksContext(toy_params(), seed=33)
+        x = ctx.encrypt(np.random.default_rng(3).uniform(
+            -1, 1, ctx.params.slots)).parts[1]
+        results = {}
+        for backend in (NumpyBackend(), compiled, VpuBackend(m=16)):
+            with use_backend(backend):
+                t0, t1 = apply_keyswitch(x, ctx.relin_key, ctx.params)
+            results[backend.name] = (t0.residues, t1.residues)
+        for name in ("compiled", "vpu"):
+            assert np.array_equal(results[name][0], results["numpy"][0])
+            assert np.array_equal(results[name][1], results["numpy"][1])
+
+
+class TestKeyswitchInnerProduct:
+    def test_matches_reference_lazy_and_reduced(self, compiled):
+        rng = np.random.default_rng(11)
+        for bits in (29, 31):  # lazy gate holds at 29, refuses at 31
+            primes = tuple(find_ntt_primes(2 * N, bits, LIMBS))
+            q_arr = np.array(primes, dtype=np.uint64)
+            shape = (4, LIMBS, N)
+            d = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+            b = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+            a = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+            acc0, acc1 = compiled.keyswitch_inner_product(d, b, a, primes)
+            ref0 = (d * b % q_arr[None, :, None]).sum(
+                axis=0, dtype=np.uint64) % q_arr[:, None]
+            ref1 = (d * a % q_arr[None, :, None]).sum(
+                axis=0, dtype=np.uint64) % q_arr[:, None]
+            assert np.array_equal(acc0, ref0)
+            assert np.array_equal(acc1, ref1)
+
+    def test_refuses_wide_single_products(self, compiled):
+        q = _prime_just_above(2 * N, 1 << 33)
+        z = np.zeros((1, 1, N), dtype=np.uint64)
+        with pytest.raises(ValueError, match="fit uint64"):
+            compiled.keyswitch_inner_product(z, z, z, (q,))
+
+    def test_providerless_fallback_matches(self):
+        backend = CompiledBackend(provider="none")
+        assert backend.provider_name is None
+        rng = np.random.default_rng(5)
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        q_arr = np.array(primes, dtype=np.uint64)
+        shape = (3, LIMBS, N)
+        d = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+        b = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+        a = rng.integers(0, min(primes), size=shape, dtype=np.uint64)
+        acc0, _ = backend.keyswitch_inner_product(d, b, a, primes)
+        ref0 = (d * b % q_arr[None, :, None]).sum(
+            axis=0, dtype=np.uint64) % q_arr[:, None]
+        assert np.array_equal(acc0, ref0)
+
+
+class TestProviderlessFallback:
+    """provider='none' must reproduce the numpy path bit for bit."""
+
+    def test_ntt_and_automorphism(self):
+        backend = CompiledBackend(provider="none")
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        x = _rows(primes)
+        reference = NumpyBackend()
+        assert np.array_equal(backend.forward_ntt_batch(x, primes),
+                              reference.forward_ntt_batch(x, primes))
+        f = reference.forward_ntt_batch(x, primes)
+        assert np.array_equal(backend.inverse_ntt_batch(f, primes),
+                              reference.inverse_ntt_batch(f, primes))
+        assert np.array_equal(
+            backend.automorphism_eval_batch(f, 5, primes),
+            reference.automorphism_eval_batch(f, 5, primes))
+        assert backend.fallbacks >= 3
+        assert backend.kernel_invocations == 0
+
+    def test_unknown_provider_name_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_JIT"):
+            CompiledBackend(provider="bogus")
+        with pytest.raises(ValueError, match="REPRO_JIT"):
+            resolve_provider("bogus")
+
+
+class TestSelection:
+    def test_backend_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        assert backend_from_env().name == "compiled"
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert backend_from_env().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "vpu")
+        assert backend_from_env().name == "vpu"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert backend_from_env().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            backend_from_env()
+
+    def test_import_time_bogus_env_warns_not_raises(self):
+        code = ("import warnings\n"
+                "with warnings.catch_warnings(record=True) as w:\n"
+                "    warnings.simplefilter('always')\n"
+                "    from repro.fhe.backend import get_backend\n"
+                "    assert get_backend().name == 'numpy'\n"
+                "    assert any('REPRO_BACKEND' in str(x.message)"
+                " for x in w)\n")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "REPRO_BACKEND": "bogus",
+                 "PYTHONPATH": os.pathsep.join(sys.path)},
+            capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+
+    def test_integrity_backend_wraps_compiled(self, compiled):
+        wrapped = IntegrityBackend(inner=compiled)
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        x = _rows(primes)
+        out = wrapped.forward_ntt_batch(x, primes)
+        assert np.array_equal(out, NumpyBackend().forward_ntt_batch(x, primes))
+
+
+class TestCachesAndObs:
+    def test_clear_caches_resets_plan_cache(self, compiled):
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        compiled.forward_ntt_batch(_rows(primes), primes)
+        compiled.forward_ntt_batch(_rows(primes, seed=8), primes)
+        assert compiled.plan_cache_hits >= 1
+        assert compiled.plan_cache_misses >= 1
+        clear_caches()  # module-level clear reaches the kernels package
+        assert compiled.plan_cache_hits == 0
+        assert compiled.plan_cache_misses == 0
+        assert len(plan_cache()) == 0
+
+    def test_plan_cache_gauges_published(self, compiled):
+        compiled.clear_caches()
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        observer = Observer()
+        previous = install_obs_hook(observer)
+        try:
+            compiled.forward_ntt_batch(_rows(primes), primes)
+            compiled.forward_ntt_batch(_rows(primes, seed=9), primes)
+        finally:
+            install_obs_hook(previous)
+        snapshot = observer.metrics.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["backend.compiled_plan_cache.misses"] == 1
+        assert gauges["backend.compiled_plan_cache.hits"] == 1
+        assert gauges["backend.compiled_plan_cache.size"] == 1
+        assert snapshot["counters"]["backend.compiled.kernels.ntt"] == 2
+
+    def test_obs_off_is_exact_noop(self, compiled):
+        # No hook installed: dispatch must not touch any registry.
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        out = compiled.forward_ntt_batch(_rows(primes), primes)
+        assert out is not None
+
+
+class TestSelfCheck:
+    def test_broken_provider_raises(self):
+        class _Broken:
+            name = "broken"
+
+            def fwd_ntt(self, plan, x, out, work, use_shoup):
+                out[:] = 0
+
+        backend = CompiledBackend(provider=_Broken(), self_check=True)
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        with pytest.raises(RuntimeError, match="self-check failed"):
+            backend.forward_ntt_batch(_rows(primes), primes)
+
+    def test_self_check_runs_once_per_shape(self, compiled):
+        compiled.clear_caches()
+        primes = tuple(find_ntt_primes(2 * N, 29, LIMBS))
+        before = compiled.self_checks
+        compiled.forward_ntt_batch(_rows(primes), primes)
+        compiled.forward_ntt_batch(_rows(primes, seed=10), primes)
+        assert compiled.self_checks == before + 1
