@@ -19,13 +19,28 @@ those invariants instead of trusting comments:
 * :mod:`repro.analysis.bounds` — the production gate API: the single
   source of truth the NTT/keyswitch fast paths query instead of
   hand-coded inequalities.
+* :mod:`repro.analysis.dataflow` — def-use verification of compiled VPU
+  micro-programs under the real dispatch semantics: uninitialized
+  register reads, dead writes, routing that is not a permutation,
+  diagonal-read WAR hazards, 2R1W port violations.
+* :mod:`repro.analysis.resources` — symbolic SRAM/DRAM occupancy replay
+  of staged accelerator plans: capacity overflow, use-after-evict,
+  double-buffer conflicts.
+* :mod:`repro.analysis.ctstate` — ciphertext-state abstract
+  interpretation of recorded CKKS/BFV/BGV op sequences (level, scale,
+  NTT/coeff domain, noise budget), plus the checked execution entry
+  point :func:`~repro.analysis.ctstate.run_checked`.
 * :mod:`repro.analysis.lint` — repository-specific AST lint rules
   (object-dtype leakage, unchecked ``astype`` narrowing, unreduced
-  products under ``%``, lazy values escaping without a clamp).
+  products under ``%``, lazy values escaping without a clamp, unchecked
+  sequence execution and SRAM staging, stale suppressions).
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 rendering of findings for
+  GitHub code scanning, with an envelope validator CI runs.
 
 Run everything with ``python -m repro.analysis`` (see
 :mod:`repro.analysis.cli`); findings are machine-readable with
-``--json``.
+``--format json`` / ``--format sarif``.  Exit status: 0 clean, 1 when
+any error-severity finding fired, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -50,39 +65,81 @@ from repro.analysis.stage_plans import (
 
 __all__ = [
     "U64_MAX",
+    "CtState",
+    "CtStateError",
+    "CtStateReport",
+    "DataflowReport",
     "Finding",
     "Interval",
     "IntervalVec",
+    "Op",
     "PlanReport",
     "ProgramCheckReport",
+    "ResourceReport",
     "Severity",
+    "StagedPlan",
     "analyze_batched_forward",
     "analyze_batched_inverse",
     "analyze_dif_lazy",
     "analyze_dit_lazy",
     "analyze_dit_unclamped",
     "analyze_keyswitch_accumulate",
+    "analyze_staged_plan",
+    "automorphism_staging_plan",
+    "check_dataflow",
     "check_program",
+    "check_sequence",
+    "execute_sequence",
     "keyswitch_lazy_accumulate_ok",
+    "keyswitch_staging_plan",
     "mul_fits_uint64",
+    "ntt_staging_plan",
+    "run_checked",
+    "to_sarif",
     "unclamped_dit_lane_bound",
     "unclamped_dit_ok",
+    "validate_sarif",
 ]
 
-_LAZY = {"ProgramCheckReport", "ProgramVerificationError", "check_program"}
+#: PEP 562 lazy exports: name -> defining submodule.
+_LAZY = {
+    "ProgramCheckReport": "program_check",
+    "ProgramVerificationError": "program_check",
+    "check_program": "program_check",
+    "DataflowReport": "dataflow",
+    "check_dataflow": "dataflow",
+    "ResourceReport": "resources",
+    "StagedPlan": "resources",
+    "analyze_staged_plan": "resources",
+    "keyswitch_staging_plan": "resources",
+    "ntt_staging_plan": "resources",
+    "automorphism_staging_plan": "resources",
+    "CtState": "ctstate",
+    "CtStateError": "ctstate",
+    "CtStateReport": "ctstate",
+    "Op": "ctstate",
+    "check_sequence": "ctstate",
+    "execute_sequence": "ctstate",
+    "run_checked": "ctstate",
+    "to_sarif": "sarif",
+    "validate_sarif": "sarif",
+}
 
 
 def __getattr__(name: str) -> object:
-    """Load the micro-program checker on first use (PEP 562).
+    """Load the heavier passes on first use (PEP 562).
 
-    ``program_check`` imports :mod:`repro.core.isa`, whose own import
-    chain reaches back here through the NTT kernels' bounds gates
-    (``core.stages -> repro.ntt -> cooley_tukey -> analysis.bounds``) —
-    an eager import would be circular.  The interval/plan/gate API stays
-    eager; only the ISA-coupled checker is deferred.
+    ``program_check``/``dataflow`` import :mod:`repro.core.isa`, whose
+    own import chain reaches back here through the NTT kernels' bounds
+    gates (``core.stages -> repro.ntt -> cooley_tukey ->
+    analysis.bounds``) — an eager import would be circular.  The same
+    deferral keeps ``resources`` (accel models) and ``ctstate`` (fhe
+    layer) off the hot kernel import path.  The interval/plan/gate API
+    stays eager.
     """
     if name in _LAZY:
-        from repro.analysis import program_check
+        import importlib
 
-        return getattr(program_check, name)
+        module = importlib.import_module(f"repro.analysis.{_LAZY[name]}")
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,21 +1,47 @@
 """The ``fhecheck`` command line: ``python -m repro.analysis``.
 
-Three sections, all run by default:
+Six sections, all run by default:
 
 * ``programs`` — compile every micro-program of the toy workload
   (forward/inverse negacyclic NTT for every chain + special prime, the
   rotation and conjugation automorphisms the keyswitch tests exercise)
   and interval-verify each with
   :func:`repro.analysis.program_check.check_program`.
+* ``dataflow`` — def-use verify the same compiled programs with
+  :func:`repro.analysis.dataflow.check_dataflow`: uninitialized
+  register reads, dead writes, non-permutation routing, diagonal WAR
+  hazards, 2R1W port violations.
 * ``plans`` — symbolically verify the lazy-reduction stage plans across
   the supported modulus regimes (Shoup ``< 2**30``, plain lazy
   ``< 2**31``) plus the fused keyswitch accumulation for the toy
   parameter set, and confirm the unclamped-DIT gate agrees with the
   analysis on both sides of the boundary.
+* ``resources`` — replay the canonical keyswitch/NTT/automorphism
+  staging schedules against the SRAM/DRAM models with
+  :func:`repro.analysis.resources.analyze_staged_plan`, and confirm the
+  analysis refuses an undersized SRAM.
+* ``ctstate`` — abstractly interpret the canonical CKKS/BGV/BFV op
+  sequences with :func:`repro.analysis.ctstate.check_sequence`, and
+  confirm the interpreter refuses a rescale-dropped mutation.
 * ``lint`` — run the repository AST rules over ``src/repro``.
 
-``--json`` emits machine-readable findings; the exit status is nonzero
-iff any error-severity finding fired (the CI contract).
+``--bench-shapes`` widens ``programs``/``dataflow`` to every compiled
+program shape the benchmark suite exercises (``small_params`` NTT and
+automorphism programs, the m=64 four-step NTT).
+
+Output: ``--format json`` emits machine-readable findings,
+``--format sarif`` a SARIF 2.1.0 log for GitHub code scanning
+(``--output FILE`` writes either to a file and keeps the text summary
+on stdout).  ``--validate-sarif FILE`` shape-checks an emitted
+envelope instead of running the analysis.
+
+Exit status (the CI contract, also documented in README/DESIGN):
+
+* ``0`` — analysis ran and no error-severity finding fired (warnings,
+  e.g. dead writes or stale suppressions, do not gate);
+* ``1`` — at least one error-severity finding, or an invalid SARIF
+  envelope under ``--validate-sarif``;
+* ``2`` — usage error (unknown section or flag; argparse's own exit).
 """
 
 from __future__ import annotations
@@ -24,13 +50,18 @@ import argparse
 import json
 import sys
 import time
+from collections import Counter
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from repro.analysis.findings import Finding
+if TYPE_CHECKING:
+    from repro.core.isa import Program
+
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.bounds import unclamped_dit_ok
 from repro.analysis.lint import lint_paths
 from repro.analysis.program_check import ProgramCheckReport, check_program
+from repro.analysis.sarif import to_sarif, validate_sarif
 from repro.analysis.stage_plans import (
     PlanReport,
     analyze_batched_forward,
@@ -38,43 +69,59 @@ from repro.analysis.stage_plans import (
     analyze_keyswitch_accumulate,
 )
 
-_SECTIONS = ("programs", "plans", "lint")
+_SECTIONS = ("programs", "dataflow", "plans", "resources", "ctstate",
+             "lint")
 
 
-def _check_programs(m: int, verbose: bool) -> tuple[list[Finding], list[str]]:
-    """Compile and interval-verify the toy workload's micro-programs."""
+def _workload_programs(m: int, bench_shapes: bool) -> Iterator[
+        "tuple[Program, int, int]"]:
+    """``(program, q, m)`` for every compiled shape under verification.
+
+    The toy workload covers every micro-program a toy keyswitch
+    dispatches; ``bench_shapes`` adds the shapes the benchmark suite
+    executes (``small_params`` at m=16 and the m=64 four-step NTT).
+    """
     from repro.automorphism.mapping import (
         galois_element_for_rotation,
         galois_eval_permutation,
     )
-    from repro.fhe.params import toy_params
-    from repro.mapping import compile_automorphism
+    from repro.fhe.params import small_params, toy_params
+    from repro.mapping import compile_automorphism, compile_ntt
     from repro.mapping.ntt import (
         compile_negacyclic_intt,
         compile_negacyclic_ntt,
     )
 
-    params = toy_params()
-    n = params.n
-    primes = params.primes + (params.special_prime,)
+    param_sets = [(toy_params(), m)]
+    if bench_shapes:
+        param_sets.append((small_params(), m))
+    for params, lanes in param_sets:
+        n = params.n
+        primes = params.primes + (params.special_prime,)
+        # The keyswitch workload is, per digit, a batch of forward NTTs
+        # over every limb plus the accumulation — so the forward and
+        # inverse NTT programs for every prime of the full basis cover
+        # every micro-program a keyswitch dispatches.
+        for q in primes:
+            yield compile_negacyclic_ntt(n, lanes, q), q, lanes
+            yield compile_negacyclic_intt(n, lanes, q), q, lanes
+        # Rotation + conjugation automorphisms (modulus-independent
+        # programs, verified under the widest modulus of the basis).
+        for galois_k in (galois_element_for_rotation(n, 1), 2 * n - 1):
+            perm = galois_eval_permutation(n, galois_k)
+            yield compile_automorphism(perm, lanes), max(primes), lanes
+    if bench_shapes:
+        yield compile_ntt(4096, 64, 998244353), 998244353, 64
+
+
+def _check_programs(m: int, verbose: bool,
+                    bench_shapes: bool) -> tuple[list[Finding], list[str]]:
+    """Compile and interval-verify the workload's micro-programs."""
     findings: list[Finding] = []
     lines: list[str] = []
     reports: list[ProgramCheckReport] = []
-    # The keyswitch workload is, per digit, a batch of forward NTTs over
-    # every limb plus the accumulation — so verifying the forward and
-    # inverse NTT programs for every prime of the full basis covers every
-    # micro-program a toy keyswitch dispatches.
-    for q in primes:
-        for kind, compiler in (("ntt", compile_negacyclic_ntt),
-                               ("intt", compile_negacyclic_intt)):
-            program = compiler(n, m, q)
-            reports.append(check_program(program, q=q, m=m))
-    # Rotation + conjugation automorphisms (modulus-independent programs,
-    # verified under the widest modulus of the basis).
-    for galois_k in (galois_element_for_rotation(n, 1), 2 * n - 1):
-        perm = galois_eval_permutation(n, galois_k)
-        program = compile_automorphism(perm, m)
-        reports.append(check_program(program, q=max(primes), m=m))
+    for program, q, lanes in _workload_programs(m, bench_shapes):
+        reports.append(check_program(program, q=q, m=lanes))
     for report in reports:
         findings.extend(report.findings)
         status = "ok " if report.ok else "FAIL"
@@ -82,6 +129,27 @@ def _check_programs(m: int, verbose: bool) -> tuple[list[Finding], list[str]]:
                 f"{report.instructions:5d} instrs, max intermediate "
                 f"2^{report.max_intermediate.bit_length()}")
         lines.append(line)
+        if verbose or not report.ok:
+            lines += [f"    {f}" for f in report.findings]
+    return findings, lines
+
+
+def _check_dataflow(m: int, verbose: bool,
+                    bench_shapes: bool) -> tuple[list[Finding], list[str]]:
+    """Def-use verify the same compiled micro-programs."""
+    from repro.analysis.dataflow import check_dataflow
+
+    findings: list[Finding] = []
+    lines: list[str] = []
+    for program, _q, lanes in _workload_programs(m, bench_shapes):
+        report = check_dataflow(program, m=lanes)
+        findings.extend(report.findings)
+        status = "ok " if report.ok else "FAIL"
+        lines.append(
+            f"[{status}] dataflow {report.label:44s} "
+            f"{report.instructions:5d} instrs, "
+            f"{report.registers_written:3d} regs, "
+            f"{report.dead_at_exit} dead at exit")
         if verbose or not report.ok:
             lines += [f"    {f}" for f in report.findings]
     return findings, lines
@@ -139,6 +207,116 @@ def _check_plans(verbose: bool) -> tuple[list[Finding], list[str]]:
     return findings, lines
 
 
+def _check_resources(verbose: bool) -> tuple[list[Finding], list[str]]:
+    """Replay the canonical staging schedules against the SRAM model."""
+    from repro.accel.sram import OnChipSram
+    from repro.analysis.resources import (
+        analyze_staged_plan,
+        automorphism_staging_plan,
+        keyswitch_staging_plan,
+        ntt_staging_plan,
+    )
+    from repro.fhe.params import default_params, toy_params
+
+    findings: list[Finding] = []
+    lines: list[str] = []
+    toy, big = toy_params(), default_params()
+    plans = [
+        keyswitch_staging_plan(toy),
+        keyswitch_staging_plan(big),
+        ntt_staging_plan(toy.n, 16),
+        ntt_staging_plan(big.n, 64),
+        automorphism_staging_plan(big.n, big.levels + 1),
+    ]
+    reports = [analyze_staged_plan(plan) for plan in plans]
+    for report in reports:
+        findings.extend(report.findings)
+        status = "ok " if report.ok else "FAIL"
+        lines.append(
+            f"[{status}] staged {report.label:32s} peak "
+            f"{report.peak_words * 8 // 1024:5d} KiB of "
+            f"{report.capacity_words * 8 // 1024} KiB, dram "
+            f"{report.dram_words * 8 // 1024} KiB "
+            f"({report.dram_ns:.0f} ns)")
+        if verbose or not report.ok:
+            lines += [f"    {f}" for f in report.findings]
+    # Gate-agreement: an SRAM sized below the proven peak must be
+    # refused — if the analysis verifies it anyway, that is a finding.
+    big_report = reports[1]
+    shrunk = OnChipSram(capacity_bytes=max(big_report.peak_words * 8 // 2, 8))
+    refused = analyze_staged_plan(plans[1], shrunk)
+    status = "ok " if not refused.ok else "FAIL"
+    lines.append(f"[{status}] analysis refuses a half-peak SRAM for "
+                 f"{refused.label} (agrees: {not refused.ok})")
+    if refused.ok:
+        findings.append(Finding(
+            "resource", "R001", Severity.ERROR, refused.label,
+            "undersized SRAM was not refused by the occupancy analysis"))
+    return findings, lines
+
+
+def _check_ctstate(verbose: bool) -> tuple[list[Finding], list[str]]:
+    """Abstractly interpret the canonical scheme op sequences."""
+    from repro.analysis.ctstate import (
+        Op,
+        bfv_mult_add_sequence,
+        bgv_mult_switch_sequence,
+        check_sequence,
+        ckks_mult_rotate_sequence,
+    )
+    from repro.fhe.bgv import BgvParams
+    from repro.fhe.params import default_params, toy_params
+
+    findings: list[Finding] = []
+    lines: list[str] = []
+    bgv_params = BgvParams(n=256, levels=3, plaintext_modulus=65537,
+                           prime_bits=30)
+    cases = [
+        ("ckks", toy_params(),
+         ckks_mult_rotate_sequence(toy_params().levels)),
+        ("ckks", default_params(),
+         ckks_mult_rotate_sequence(default_params().levels)),
+        ("bgv", bgv_params, bgv_mult_switch_sequence(3)),
+        ("bfv", bgv_params, bfv_mult_add_sequence()),
+    ]
+    for scheme, params, ops in cases:
+        n = getattr(params, "n", 0)
+        report = check_sequence(ops, params, scheme=scheme,
+                                label=f"{scheme} n={n} canonical")
+        findings.extend(report.findings)
+        status = "ok " if report.ok else "FAIL"
+        lines.append(
+            f"[{status}] ctstate {report.label:28s} {report.ops:3d} ops, "
+            f"min budget {report.min_budget_bits:6.1f} bits")
+        if verbose or not report.ok:
+            lines += [f"    {f}" for f in report.findings]
+    # Gate-agreement: dropping the first rescale of the toy pipeline
+    # must be refused — a verifier that accepts it is broken.
+    ops = ckks_mult_rotate_sequence(toy_params().levels)
+    drop = next(i for i, op in enumerate(ops) if op.kind == "rescale")
+    remap: dict[int, int] = {}
+    mutated: list[Op] = []
+    for index, op in enumerate(ops):
+        if index == drop:
+            remap[index] = remap.get(op.srcs[0], op.srcs[0])
+            continue
+        remap[index] = len(mutated)
+        mutated.append(Op(op.kind,
+                          tuple(remap.get(s, s) for s in op.srcs),
+                          op.arg))
+    refused = check_sequence(mutated, toy_params(),
+                             label="ckks dropped-rescale")
+    status = "ok " if not refused.ok else "FAIL"
+    lines.append(f"[{status}] analysis refuses a dropped rescale "
+                 f"(agrees: {not refused.ok})")
+    if refused.ok:
+        findings.append(Finding(
+            "ctstate", "C002", Severity.ERROR, "ckks dropped-rescale",
+            "rescale-dropped mutation was not refused by the abstract "
+            "interpreter"))
+    return findings, lines
+
+
 def _check_lint(root: Path, verbose: bool) -> tuple[list[Finding], list[str]]:
     findings = lint_paths([root])
     lines = [f"[{'ok ' if not findings else 'FAIL'}] lint over {root}: "
@@ -147,17 +325,61 @@ def _check_lint(root: Path, verbose: bool) -> tuple[list[Finding], list[str]]:
     return findings, lines
 
 
+def _emit_gauges(findings: list[Finding], errors: list[Finding]) -> None:
+    """Publish finding counts to the observability layer, if enabled."""
+    from repro.obs import current_obs_hook
+
+    obs = current_obs_hook()
+    if obs is not None:
+        obs.gauge("analysis.findings.total", len(findings))
+        obs.gauge("analysis.findings.errors", len(errors))
+        for source, count in sorted(Counter(
+                f.source for f in findings).items()):
+            obs.gauge(f"analysis.findings.{source}", count)
+
+
+def _run_validate_sarif(path: str) -> int:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"sarif: cannot read {path}: {exc}")
+        return 1
+    problems = validate_sarif(payload)
+    if problems:
+        for problem in problems:
+            print(f"sarif: {problem}")
+        print(f"sarif: {path} INVALID ({len(problems)} problem(s))")
+        return 1
+    results = sum(len(run.get("results", []))
+                  for run in payload.get("runs", []))
+    print(f"sarif: {path} ok ({results} result(s))")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="fhecheck: static bound/overflow verification for the "
+        description="fhecheck: static bound/overflow, dataflow, resource "
+                    "and ciphertext-state verification for the "
                     "lazy-reduction kernels and VPU micro-programs.")
     parser.add_argument("sections", nargs="*", metavar="section",
                         default=[],
                         help=f"which sections to run: {', '.join(_SECTIONS)} "
                              f"(default: all)")
     parser.add_argument("--json", action="store_true",
-                        help="emit machine-readable findings on stdout")
+                        help="shorthand for --format json")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the json/sarif payload to FILE and "
+                             "keep the text summary on stdout")
+    parser.add_argument("--validate-sarif", metavar="FILE", default=None,
+                        help="validate a SARIF envelope and exit "
+                             "(no analysis run)")
+    parser.add_argument("--bench-shapes", action="store_true",
+                        help="also verify every compiled program shape "
+                             "the benchmark suite exercises")
     parser.add_argument("--lint-root", default=None,
                         help="directory to lint (default: the installed "
                              "repro package source)")
@@ -167,20 +389,40 @@ def main(argv: list[str] | None = None) -> int:
                         help="print every finding, not just failures")
     args = parser.parse_args(argv)
 
+    if args.validate_sarif is not None:
+        return _run_validate_sarif(args.validate_sarif)
+
+    out_format = "json" if args.json else args.format
     sections = args.sections or list(_SECTIONS)
     unknown = [s for s in sections if s not in _SECTIONS]
     if unknown:
         parser.error(f"unknown section(s) {unknown}; "
                      f"choose from {', '.join(_SECTIONS)}")
+
+    from repro.obs import enable_from_env
+    enable_from_env()
+
     started = time.perf_counter()
     findings: list[Finding] = []
     lines: list[str] = []
     if "programs" in sections:
-        f, out = _check_programs(args.lanes, args.verbose)
+        f, out = _check_programs(args.lanes, args.verbose, args.bench_shapes)
+        findings += f
+        lines += out
+    if "dataflow" in sections:
+        f, out = _check_dataflow(args.lanes, args.verbose, args.bench_shapes)
         findings += f
         lines += out
     if "plans" in sections:
         f, out = _check_plans(args.verbose)
+        findings += f
+        lines += out
+    if "resources" in sections:
+        f, out = _check_resources(args.verbose)
+        findings += f
+        lines += out
+    if "ctstate" in sections:
+        f, out = _check_ctstate(args.verbose)
         findings += f
         lines += out
     if "lint" in sections:
@@ -192,13 +434,28 @@ def main(argv: list[str] | None = None) -> int:
 
     errors = [f for f in findings if f.severity.value == "error"]
     elapsed = time.perf_counter() - started
-    if args.json:
-        print(json.dumps({
+    _emit_gauges(findings, errors)
+
+    if out_format == "json":
+        payload = json.dumps({
             "ok": not errors,
             "sections": sections,
             "elapsed_s": round(elapsed, 3),
             "findings": [f.to_dict() for f in findings],
-        }, indent=2))
+        }, indent=2)
+    elif out_format == "sarif":
+        payload = json.dumps(to_sarif(findings), indent=2)
+    else:
+        payload = None
+
+    if args.output is not None and payload is not None:
+        Path(args.output).write_text(payload + "\n", encoding="utf-8")
+        print("\n".join(lines))
+        verdict = "clean" if not errors else f"{len(errors)} error(s)"
+        print(f"fhecheck: {verdict} across {', '.join(sections)} "
+              f"in {elapsed:.2f}s -> {args.output} ({out_format})")
+    elif payload is not None:
+        print(payload)
     else:
         print("\n".join(lines))
         verdict = "clean" if not errors else f"{len(errors)} error(s)"

@@ -54,18 +54,41 @@ fast paths silently go wrong:
     call bypassing the gate reintroduces exactly the hand-coded width
     assumptions fhecheck exists to eliminate.
 
+``FHC008`` **unchecked op-sequence execution** — a recorded-sequence
+    executor (``execute_sequence`` / ``replay_sequence``) is invoked
+    outside a branch conditioned on a :func:`repro.analysis.ctstate
+    .check_sequence` verdict (or a local alias of one).  Op sequences
+    must go through the checked entry point
+    (:func:`repro.analysis.ctstate.run_checked`) or reproduce its
+    check-then-execute shape — executing an unverified sequence skips
+    the level/scale/domain/noise verification entirely.
+
+``FHC009`` **unchecked SRAM staging** — a ``.stage(...)`` call on an
+    SRAM model with no capacity evidence anywhere in the enclosing
+    function (no ``.fits(...)`` call and no ``capacity`` mention).
+    :meth:`repro.accel.sram.OnChipSram.stage` charges bandwidth for
+    whatever it is handed; staging a working set that does not fit
+    silently models a machine with infinite SRAM.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
 justification after an em-dash.  Suppressions are deliberate,
 reviewable artifacts — the point is that the *reason* lives next to the
-code instead of in a lost PR comment.
+code instead of in a lost PR comment.  Suppression comments that no
+longer suppress anything are themselves reported (``FHC010``, warning
+severity, like ruff's unused-noqa) so stale waivers cannot outlive the
+finding they excused.  Only real comments count: the scanner works on
+tokenized COMMENT tokens, so suppression text inside string literals
+(docstrings, test fixtures) is inert.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 
 from repro.analysis.findings import Finding, FindingList
@@ -82,6 +105,10 @@ _LAZY_KERNELS = {"dif_stages_lazy", "dit_stages_lazy",
 #: ``_lazy``/``_unclamped`` suffix; ungated ones (pure gathers,
 #: per-step-reduced accumulators) do not.
 _CJIT_LAZY_RE = re.compile(r"^cjit_\w*_(?:lazy|unclamped)$")
+#: Recorded-sequence executors that must go through the checked entry
+#: point (FHC008); the verdict provider tracked as the guard.
+_SEQUENCE_EXECUTORS = {"execute_sequence", "replay_sequence"}
+_SEQUENCE_CHECK_SUFFIX = "check_sequence"
 
 
 def _dtype_name(node: ast.expr) -> str | None:
@@ -266,14 +293,30 @@ def _scan_guarded(fn: ast.AST, mentions, on_call) -> None:
 
 
 class _Suppressions:
+    """``# fhecheck: ok[=RULES]`` comments, from real COMMENT tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    text inside string literals — docstrings, lint-test fixtures —
+    inert, which in turn lets :meth:`unused` report stale waivers
+    without false positives.
+    """
+
     def __init__(self, source: str):
         self.by_line: dict[int, set[str] | None] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
+        self.used: set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []  # unparseable files already yield FHC000
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
             if match:
                 rules = match.group("rules")
-                self.by_line[lineno] = (set(rules.split(","))
-                                        if rules else None)
+                self.by_line[token.start[0]] = (set(rules.split(","))
+                                                if rules else None)
 
     def active(self, lineno: int, rule: str) -> bool:
         # A suppression lives on the offending line or, when the line is
@@ -281,8 +324,15 @@ class _Suppressions:
         for candidate in (lineno, lineno - 1):
             if candidate in self.by_line:
                 rules = self.by_line[candidate]
-                return rules is None or rule in rules
+                hit = rules is None or rule in rules
+                if hit:
+                    self.used.add(candidate)
+                return hit
         return False
+
+    def unused(self) -> list[int]:
+        """Line numbers of suppressions that never suppressed anything."""
+        return sorted(set(self.by_line) - self.used)
 
 
 class _Linter(ast.NodeVisitor):
@@ -316,6 +366,8 @@ class _Linter(ast.NodeVisitor):
         self._check_lazy_escape(node)
         self._check_fault_hook_guards(node)
         self._check_compiled_gate_guards(node)
+        self._check_sequence_entry(node)
+        self._check_sram_staging(node)
         self.generic_visit(node)
         self._fn_stack.pop()
 
@@ -464,6 +516,85 @@ class _Linter(ast.NodeVisitor):
 
         _scan_guarded(fn, mentions, on_call)
 
+    # -- FHC008: op-sequence executor bypasses the checked entry point -----
+
+    def _check_sequence_entry(self, fn: ast.AST) -> None:
+        """Every ``execute_sequence``/``replay_sequence`` call must sit
+        in a branch conditioned on a ``check_sequence`` verdict (or a
+        local alias, e.g. ``report = check_sequence(...)`` guarding
+        ``if report.ok:``) — the shape :func:`repro.analysis.ctstate
+        .run_checked` canonicalizes."""
+        aliases = _collect_hook_aliases(fn, _SEQUENCE_CHECK_SUFFIX)
+
+        def mentions(node: ast.AST) -> bool:
+            return _mentions_hook(node, aliases, _SEQUENCE_CHECK_SUFFIX)
+
+        def on_call(node: ast.Call, guarded: bool) -> None:
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name not in _SEQUENCE_EXECUTORS or guarded:
+                return
+            self._flag(
+                "FHC008", node,
+                f"{name}() invoked outside a branch conditioned on a "
+                f"check_sequence verdict — route op sequences through "
+                f"the checked entry point (ctstate.run_checked) so "
+                f"level/scale/domain/noise are verified before "
+                f"execution")
+
+        _scan_guarded(fn, mentions, on_call)
+
+    # -- FHC009: SRAM staging without a capacity check ---------------------
+
+    def _check_sram_staging(self, fn: ast.AST) -> None:
+        """A ``<sram>.stage(...)`` call needs capacity evidence in the
+        same function: a ``.fits(...)`` call or any ``capacity``
+        mention (attribute, name, or keyword)."""
+
+        def mentions_sram(node: ast.AST) -> bool:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and "sram" in sub.id.lower():
+                    return True
+                if isinstance(sub, ast.Attribute) and \
+                        "sram" in sub.attr.lower():
+                    return True
+            return False
+
+        stage_calls = [
+            node for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stage"
+            and mentions_sram(node.func.value)
+        ]
+        if not stage_calls:
+            return
+        has_capacity_evidence = False
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "fits":
+                has_capacity_evidence = True
+            elif isinstance(node, ast.Attribute) and \
+                    "capacity" in node.attr:
+                has_capacity_evidence = True
+            elif isinstance(node, ast.Name) and "capacity" in node.id:
+                has_capacity_evidence = True
+            if has_capacity_evidence:
+                break
+        if has_capacity_evidence:
+            return
+        for call in stage_calls:
+            self._flag(
+                "FHC009", call,
+                "SRAM staging without a capacity check in this function "
+                "— call sram.fits(...) (or assert against capacity) "
+                "before .stage(...), else oversized working sets model "
+                "an infinite SRAM silently")
+
     def _check_hook_call(self, node: ast.Call, aliases: set[str],
                          guarded: bool, rule: str, suffix: str,
                          label: str, disabled: str) -> None:
@@ -501,6 +632,16 @@ def lint_source(source: str, filename: str = "<string>") -> list[Finding]:
         return findings.findings
     linter = _Linter(source, filename)
     linter.visit(tree)
+    # FHC010: stale waivers (after the full visit, so every suppression
+    # had its chance to fire).  Warning severity — a stale comment does
+    # not gate CI, it just must not linger unnoticed.
+    for lineno in linter.suppressions.unused():
+        rules = linter.suppressions.by_line[lineno]
+        what = "all rules" if rules is None else ",".join(sorted(rules))
+        linter.findings.warning(
+            "lint", "FHC010", f"{filename}:{lineno}",
+            f"suppression comment ({what}) no longer suppresses any "
+            f"finding — remove it or re-justify it")
     return linter.findings.findings
 
 

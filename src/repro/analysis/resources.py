@@ -1,0 +1,302 @@
+"""Symbolic resource/liveness verification of staged accelerator plans.
+
+The accelerator layer (:mod:`repro.accel`) stages working sets through
+an :class:`~repro.accel.sram.OnChipSram` and streams the rest from a
+:class:`~repro.accel.dram.DramModel`.  A staging schedule that exceeds
+SRAM capacity, reads a buffer after evicting it, or double-buffers two
+live tiles into the same window only fails at run time — and on real
+hardware it fails *silently*.  This pass replays a :class:`StagedPlan`
+symbolically, tracking per-buffer residency in words, and turns those
+schedule bugs into findings.
+
+Plans are small declarative step lists:
+
+* :class:`Stage` — DMA a buffer DRAM -> SRAM (charges DRAM traffic);
+* :class:`Alloc` — reserve an SRAM output buffer (no DRAM traffic);
+* :class:`Compute` — consume resident buffers, produce into resident
+  buffers, optionally overlapping a :attr:`~Compute.prefetch` of the
+  next tile (double buffering — the prefetch occupancy overlaps this
+  step);
+* :class:`Writeback` — DMA a buffer SRAM -> DRAM;
+* :class:`Evict` — release a buffer's SRAM footprint.
+
+Rules
+-----
+
+============ ======== =========================================================
+``R001``     error    SRAM occupancy exceeds capacity (reported once per
+                      overflow transition, with the peak in the report)
+``R002``     error    a step consumes or writes back a buffer after ``Evict``
+``R003``     error    a step names a buffer the plan never staged/allocated
+``R004``     error    double-buffer conflict: a prefetch overlaps a buffer the
+                      same step is still consuming or producing
+============ ======== =========================================================
+
+:func:`keyswitch_staging_plan`, :func:`ntt_staging_plan` and
+:func:`automorphism_staging_plan` build the canonical schedules for the
+paper's workloads from a parameter set; the CLI verifies each against
+the default SRAM and additionally confirms the analysis *refuses* an
+undersized SRAM (gate-agreement, like the plans section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.accel.dram import DramModel
+from repro.accel.sram import OnChipSram
+from repro.analysis.findings import FindingList
+
+
+@dataclass(frozen=True)
+class Stage:
+    """DMA ``words`` of ``buffer`` from DRAM into SRAM."""
+
+    buffer: str
+    words: int
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """Reserve ``words`` of SRAM for an output ``buffer``."""
+
+    buffer: str
+    words: int
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume ``reads``, produce into ``writes``, both SRAM-resident.
+
+    ``prefetch`` optionally overlaps the next tile's ``Stage`` with this
+    step (double buffering): its words count toward occupancy *during*
+    the step and the buffer becomes resident afterwards.
+    """
+
+    label: str
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    prefetch: tuple[str, int] | None = None
+
+
+@dataclass(frozen=True)
+class Writeback:
+    """DMA ``buffer`` from SRAM back to DRAM (stays resident)."""
+
+    buffer: str
+
+
+@dataclass(frozen=True)
+class Evict:
+    """Release ``buffer``'s SRAM footprint."""
+
+    buffer: str
+
+
+Step = Union[Stage, Alloc, Compute, Writeback, Evict]
+
+
+@dataclass(frozen=True)
+class StagedPlan:
+    """A named staging schedule over one SRAM working set."""
+
+    label: str
+    steps: tuple[Step, ...]
+
+
+@dataclass
+class ResourceReport:
+    """Outcome of one symbolic plan replay."""
+
+    label: str
+    capacity_words: int
+    steps: int = 0
+    #: Highest simultaneous SRAM occupancy reached (words).
+    peak_words: int = 0
+    #: Total words moved over the DRAM interface (stages + writebacks).
+    dram_words: int = 0
+    #: Modeled DRAM transfer time for that traffic.
+    dram_ns: float = 0.0
+    findings: FindingList = field(default_factory=FindingList)
+
+    @property
+    def ok(self) -> bool:
+        return self.findings.ok
+
+
+def _describe(step: Step) -> str:
+    if isinstance(step, Compute):
+        return f"Compute[{step.label}]"
+    return f"{type(step).__name__}[{step.buffer}]"
+
+
+def analyze_staged_plan(plan: StagedPlan,
+                        sram: OnChipSram | None = None,
+                        dram: DramModel | None = None) -> ResourceReport:
+    """Replay ``plan`` symbolically against ``sram``/``dram`` models.
+
+    Returns a :class:`ResourceReport`; ``report.ok`` is False when the
+    schedule overflows capacity or violates buffer liveness.
+    """
+    sram = sram if sram is not None else OnChipSram()
+    dram = dram if dram is not None else DramModel()
+    capacity_words = sram.capacity_bytes // 8
+    report = ResourceReport(label=plan.label, capacity_words=capacity_words)
+    findings = report.findings
+    resident: dict[str, int] = {}
+    evicted: set[str] = set()
+    overflowed = False
+
+    def require(name: str, loc: str, verb: str) -> None:
+        if name in resident:
+            return
+        if name in evicted:
+            findings.error(
+                "resource", "R002", loc,
+                f"{verb} of buffer {name!r} after it was evicted")
+        else:
+            findings.error(
+                "resource", "R003", loc,
+                f"{verb} of buffer {name!r} the plan never staged or "
+                f"allocated")
+        resident[name] = 0  # report once; keep replaying the schedule
+
+    for index, step in enumerate(plan.steps):
+        loc = f"step {index}: {_describe(step)}"
+        transient = 0
+        if isinstance(step, (Stage, Alloc)):
+            evicted.discard(step.buffer)  # re-staging after evict is a reload
+            resident[step.buffer] = step.words
+            if isinstance(step, Stage):
+                report.dram_words += step.words
+        elif isinstance(step, Compute):
+            for name in step.reads:
+                require(name, loc, "read")
+            for name in step.writes:
+                require(name, loc, "write")
+            if step.prefetch is not None:
+                pname, pwords = step.prefetch
+                if pname in step.reads or pname in step.writes:
+                    findings.error(
+                        "resource", "R004", loc,
+                        f"double-buffer conflict: prefetch of {pname!r} "
+                        f"overlaps a buffer this step still uses")
+                report.dram_words += pwords
+                if pname not in resident:
+                    transient = pwords
+        elif isinstance(step, Writeback):
+            require(step.buffer, loc, "writeback")
+            report.dram_words += resident.get(step.buffer, 0)
+        elif isinstance(step, Evict):
+            require(step.buffer, loc, "evict")
+            evicted.add(step.buffer)
+            resident.pop(step.buffer, None)
+
+        occupancy = sum(resident.values()) + transient
+        report.peak_words = max(report.peak_words, occupancy)
+        if occupancy > capacity_words:
+            if not overflowed:
+                findings.error(
+                    "resource", "R001", loc,
+                    f"SRAM occupancy {occupancy} words exceeds capacity "
+                    f"{capacity_words} words "
+                    f"({occupancy * 8} > {sram.capacity_bytes} bytes)")
+            overflowed = True
+        else:
+            overflowed = False
+
+        if isinstance(step, Compute) and step.prefetch is not None:
+            pname, pwords = step.prefetch
+            evicted.discard(pname)
+            resident[pname] = pwords
+
+        report.steps += 1
+
+    report.dram_ns = dram.transfer_ns(report.dram_words * 8)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Canonical plan builders for the paper's workloads.
+# ---------------------------------------------------------------------------
+
+
+def keyswitch_staging_plan(params: "object") -> StagedPlan:
+    """Streaming digit-decomposition keyswitch (one digit resident).
+
+    Per digit d: stage the digit's limb vector and the two key rows,
+    NTT in place, multiply-accumulate into the persistent accumulators,
+    then evict the digit while prefetching the next one (double
+    buffered).
+    """
+    n = params.n          # type: ignore[attr-defined]
+    levels = params.levels  # type: ignore[attr-defined]
+    limbs = levels + 1    # full basis: chain primes + special prime
+    digit_words = n * limbs
+    key_words = 2 * n * limbs
+    acc_words = 2 * n * limbs
+    steps: list[Step] = [
+        Alloc("acc0", acc_words // 2),
+        Alloc("acc1", acc_words // 2),
+        Stage("digit0", digit_words),
+    ]
+    for d in range(levels):
+        cur, nxt = f"digit{d}", f"digit{d + 1}"
+        steps.append(Stage(f"key{d}", key_words))
+        prefetch = (nxt, digit_words) if d + 1 < levels else None
+        steps.append(Compute(f"ntt+mac digit {d}",
+                             reads=(cur, f"key{d}"),
+                             writes=("acc0", "acc1"),
+                             prefetch=prefetch))
+        steps.append(Evict(cur))
+        steps.append(Evict(f"key{d}"))
+    steps += [
+        Compute("mod-down", reads=("acc0", "acc1"),
+                writes=("acc0", "acc1")),
+        Writeback("acc0"),
+        Writeback("acc1"),
+        Evict("acc0"),
+        Evict("acc1"),
+    ]
+    return StagedPlan(label=f"keyswitch n={n} L={levels}", steps=tuple(steps))
+
+
+def ntt_staging_plan(n: int, m: int) -> StagedPlan:
+    """Multi-dimensional NTT with the working set resident (§IV-A).
+
+    The polynomial is staged once; each decomposition dimension computes
+    column transforms into a fresh version of the buffer and transposes
+    through the shift network, so every dimension reads the *previous*
+    dimension's output — swapping two dimension steps reads a version
+    that does not exist yet (``R003``).
+    """
+    from repro.ntt.decomposition import choose_dimensions
+
+    dims = choose_dimensions(n, m)
+    steps: list[Step] = [Stage("x.v0", n)]
+    prev = "x.v0"
+    for index, dim in enumerate(dims):
+        cur = f"x.v{index + 1}"
+        steps.append(Alloc(cur, n))
+        steps.append(Compute(f"dim{index} ntt-{dim}",
+                             reads=(prev,), writes=(cur,)))
+        steps.append(Evict(prev))
+        prev = cur
+    steps += [Writeback(prev), Evict(prev)]
+    return StagedPlan(label=f"ntt n={n} dims={'x'.join(map(str, dims))}",
+                      steps=tuple(steps))
+
+
+def automorphism_staging_plan(n: int, limbs: int) -> StagedPlan:
+    """Single-pass automorphism over every limb: stage, permute, write."""
+    words = n * limbs
+    steps: tuple[Step, ...] = (
+        Stage("ct", words),
+        Alloc("out", words),
+        Compute("route all limbs", reads=("ct",), writes=("out",)),
+        Writeback("out"),
+        Evict("ct"),
+        Evict("out"),
+    )
+    return StagedPlan(label=f"automorphism n={n} limbs={limbs}", steps=steps)

@@ -252,7 +252,7 @@ def accumulate_keyswitch(
     acc0 %= q_col
     acc1 %= q_col
     if wide:
-        # fhecheck: ok=FHC001 — reduced residues < q < 2**62 fit uint64
+        # Reduced residues < q < 2**62 fit uint64 exactly.
         acc0 = acc0.astype(np.uint64)
         acc1 = acc1.astype(np.uint64)
     if obs is not None:

@@ -1,0 +1,84 @@
+"""Edge-of-validity tests for the production gates in analysis.bounds.
+
+The gates answer "may the fast path run?" right at the boundaries the
+paper's parameter space touches: the widest vectorized modulus (just
+below 2^31), the Shoup precision limit (2^30), and the degenerate
+smallest shapes (log_n <= 1, a single keyswitch digit).  Each gate
+answer is cross-checked against the symbolic stage-plan analysis so the
+cheap boolean and the full derivation can never drift apart.
+"""
+
+from repro.analysis.bounds import (
+    compiled_ntt_ok,
+    keyswitch_lazy_accumulate_ok,
+    mul_fits_uint64,
+    ntt_shoup_ok,
+    unclamped_dit_ok,
+)
+from repro.analysis.stage_plans import (
+    analyze_batched_forward,
+    analyze_keyswitch_accumulate,
+)
+from repro.arith.primes import find_ntt_prime
+
+
+class TestCompiledNttModulusEdge:
+    def test_widest_vectorized_modulus_accepted(self):
+        # Largest NTT-friendly prime below 2^31 for n=256 negacyclic.
+        q = find_ntt_prime(512, 31)
+        assert q == 2147483137
+        assert compiled_ntt_ok(8, q)
+
+    def test_32_bit_modulus_refused(self):
+        q = find_ntt_prime(512, 32)
+        assert q == 4294962689
+        assert not compiled_ntt_ok(8, q)
+
+    def test_gate_agrees_with_stage_analysis_on_both_sides(self):
+        for bits in (31, 32):
+            q = find_ntt_prime(512, bits)
+            assert compiled_ntt_ok(8, q) == analyze_batched_forward(8, q).ok
+
+
+class TestShoupPrecisionEdge:
+    def test_just_below_2_30_accepted(self):
+        assert ntt_shoup_ok(8, find_ntt_prime(512, 30))
+
+    def test_31_bit_modulus_refused(self):
+        # Interval-precise: the wide modulus breaks the 2^32 Shoup radix
+        # even though it fits the plain lazy path.
+        q = find_ntt_prime(512, 31)
+        assert not ntt_shoup_ok(8, q)
+        assert compiled_ntt_ok(8, q)
+
+
+class TestDegenerateShapes:
+    """log_n <= 1 and single-digit keyswitch must not over-reject."""
+
+    def test_two_point_ntt_accepted(self):
+        assert compiled_ntt_ok(1, 257)
+        assert ntt_shoup_ok(1, 257)
+        assert unclamped_dit_ok(1, 257)
+
+    def test_log_n_zero_does_not_raise(self):
+        # A 1-point transform is vacuously safe for any sane modulus.
+        assert compiled_ntt_ok(0, 257)
+        assert ntt_shoup_ok(0, 257)
+
+    def test_degenerate_analysis_agreement(self):
+        assert analyze_batched_forward(1, 257).ok
+
+    def test_single_digit_keyswitch_accepted(self):
+        q = find_ntt_prime(512, 31)
+        assert keyswitch_lazy_accumulate_ok(1, q)
+        report = analyze_keyswitch_accumulate(1, q, lazy=True)
+        assert report.ok, list(report.findings)
+
+    def test_zero_digit_keyswitch_does_not_raise(self):
+        assert keyswitch_lazy_accumulate_ok(0, find_ntt_prime(512, 31))
+
+
+class TestMulFitsUint64:
+    def test_exact_boundary(self):
+        assert mul_fits_uint64(2**32 - 1, 2**32 + 1)        # == 2^64 - 1
+        assert not mul_fits_uint64(2**32, 2**32)            # == 2^64

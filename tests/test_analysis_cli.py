@@ -41,3 +41,69 @@ class TestSections:
         assert payload["ok"] is False
         assert payload["findings"][0]["rule"] == "FHC002"
         assert str(bad) in payload["findings"][0]["location"]
+
+    def test_new_sections_run_clean(self, capsys):
+        assert main(["dataflow", "resources", "ctstate"]) == 0
+        out = capsys.readouterr().out
+        assert "dataflow" in out
+        assert "staged" in out
+        assert "ctstate" in out
+        assert "refuses a half-peak SRAM" in out
+        assert "refuses a dropped rescale" in out
+
+
+class TestOutputFormats:
+    def test_sarif_format_validates(self, capsys):
+        from repro.analysis.sarif import validate_sarif
+
+        assert main(["plans", "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert validate_sarif(payload) == []
+
+    def test_output_file_keeps_text_summary(self, tmp_path, capsys):
+        out_file = tmp_path / "fhecheck.sarif"
+        assert main(["plans", "--format", "sarif",
+                     "--output", str(out_file)]) == 0
+        stdout = capsys.readouterr().out
+        assert "fhecheck: clean" in stdout
+        payload = json.loads(out_file.read_text())
+        assert payload["runs"][0]["tool"]["driver"]["name"]
+
+    def test_validate_sarif_accepts_emitted_envelope(self, tmp_path,
+                                                     capsys):
+        out_file = tmp_path / "fhecheck.sarif"
+        assert main(["plans", "--format", "sarif",
+                     "--output", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["--validate-sarif", str(out_file)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_validate_sarif_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sarif"
+        bad.write_text('{"version": "1.0.0"}')
+        assert main(["--validate-sarif", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_validate_sarif_missing_file(self, tmp_path, capsys):
+        assert main(["--validate-sarif", str(tmp_path / "nope.sarif")]) == 1
+
+
+class TestExitCodes:
+    """The documented CI contract: 0 clean, 1 findings, 2 usage."""
+
+    def test_usage_error_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x):\n    return x.astype(np.int64)\n")
+        assert main(["lint", "--lint-root", str(tmp_path)]) == 1
+
+    def test_warnings_alone_exit_0(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text("def f(x):\n    return x  # fhecheck: ok=FHC001\n")
+        assert main(["lint", "--lint-root", str(tmp_path)]) == 0
+        assert "FHC010" in capsys.readouterr().out

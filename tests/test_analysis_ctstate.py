@@ -1,0 +1,206 @@
+"""Ciphertext-state abstract interpretation (fhecheck C rules)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ctstate import (
+    CtStateError,
+    Op,
+    bfv_mult_add_sequence,
+    bgv_mult_switch_sequence,
+    check_sequence,
+    ckks_mult_rotate_sequence,
+    run_checked,
+)
+from repro.fhe.bgv import BgvParams
+from repro.fhe.params import default_params, toy_params
+
+
+def _rules(report) -> list[str]:
+    return [f.rule for f in report.findings]
+
+
+class TestCanonicalSequencesClean:
+    def test_ckks_pipeline(self):
+        for params in (toy_params(), default_params()):
+            ops = ckks_mult_rotate_sequence(params.levels)
+            report = check_sequence(ops, params)
+            assert report.ok, list(report.findings)
+            assert report.min_budget_bits > 0
+            # The pipeline consumes levels-1 chain primes.
+            assert report.states[-1].level == 0
+
+    def test_bgv_pipeline(self):
+        params = BgvParams(n=256, levels=3, plaintext_modulus=65537,
+                           prime_bits=30)
+        report = check_sequence(bgv_mult_switch_sequence(3), params,
+                                scheme="bgv")
+        assert report.ok, list(report.findings)
+
+    def test_bfv_pipeline(self):
+        params = BgvParams(n=256, levels=3, plaintext_modulus=65537,
+                           prime_bits=30)
+        report = check_sequence(bfv_mult_add_sequence(), params,
+                                scheme="bfv")
+        assert report.ok, list(report.findings)
+
+
+class TestC001LevelMismatch:
+    def test_add_across_levels(self):
+        params = toy_params()
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("mod_reduce", (1,), arg=params.levels - 2),
+            Op("add", (0, 2)),
+        ]
+        report = check_sequence(ops, params)
+        assert "C001" in _rules(report)
+
+
+class TestC002ScaleOverflow:
+    def test_two_multiplies_without_rescale(self):
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("multiply", (0, 1)),
+            Op("multiply", (2, 2)),
+            Op("rotate", (3,), arg=1),
+        ]
+        report = check_sequence(ops, toy_params())
+        # Exactly one finding: the overflow poisons, the rotate
+        # propagates silently.
+        assert _rules(report) == ["C002"]
+
+
+class TestC003ScaleMismatch:
+    def test_add_of_mismatched_scales(self):
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("multiply_plain", (1,)),
+            Op("add", (0, 2)),
+        ]
+        report = check_sequence(ops, toy_params())
+        assert "C003" in _rules(report)
+
+
+class TestC004DomainMismatch:
+    def test_ntt_of_eval_domain_value(self):
+        report = check_sequence([Op("encrypt"), Op("ntt", (0,))],
+                                toy_params())
+        assert "C004" in _rules(report)
+
+    def test_intt_then_ntt_round_trip_clean(self):
+        report = check_sequence(
+            [Op("encrypt"), Op("intt", (0,)), Op("ntt", (1,))],
+            toy_params())
+        assert report.ok
+
+    def test_rotate_needs_eval_domain(self):
+        report = check_sequence(
+            [Op("encrypt"), Op("intt", (0,)), Op("rotate", (1,), arg=1)],
+            toy_params())
+        assert "C004" in _rules(report)
+
+
+class TestC005SchemeAndLevelErrors:
+    def test_rescale_at_level_zero(self):
+        params = toy_params()
+        ops = [
+            Op("encrypt"),
+            Op("mod_reduce", (0,), arg=0),
+            Op("rescale", (1,)),
+        ]
+        report = check_sequence(ops, params)
+        assert "C005" in _rules(report)
+
+    def test_unknown_op_kind(self):
+        report = check_sequence([Op("frobnicate")], toy_params())
+        assert _rules(report) == ["C005"]
+
+    def test_op_unsupported_by_scheme(self):
+        params = BgvParams(n=256, levels=3, plaintext_modulus=65537,
+                           prime_bits=30)
+        report = check_sequence(
+            [Op("encrypt"), Op("rotate", (0,), arg=1)],
+            params, scheme="bfv")
+        assert "C005" in _rules(report)
+
+    def test_forward_reference_rejected(self):
+        report = check_sequence([Op("rescale", (5,))], toy_params())
+        assert "C005" in _rules(report)
+
+
+class TestC006NoiseExhaustion:
+    def test_bgv_multiply_chain_without_switching(self):
+        params = BgvParams(n=256, levels=3, plaintext_modulus=65537,
+                           prime_bits=30)
+        ops = [Op("encrypt"), Op("encrypt"), Op("multiply", (0, 1))]
+        for _ in range(5):
+            ops.append(Op("multiply", (len(ops) - 1, len(ops) - 1)))
+        report = check_sequence(ops, params, scheme="bgv")
+        assert "C006" in _rules(report)
+        # Poison: exactly one noise finding, not one per later op.
+        assert _rules(report).count("C006") == 1
+
+
+class TestC007SizeMisuse:
+    def test_relinearize_of_two_part_value(self):
+        report = check_sequence([Op("encrypt"), Op("relinearize", (0,))],
+                                toy_params())
+        assert "C007" in _rules(report)
+
+    def test_multiply_of_unrelinearized_tensor(self):
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("tensor", (0, 1)),
+            Op("multiply", (2, 2)),
+        ]
+        report = check_sequence(ops, toy_params())
+        assert "C007" in _rules(report)
+
+    def test_tensor_then_relinearize_clean(self):
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("tensor", (0, 1)),
+            Op("relinearize", (2,)),
+            Op("rescale", (3,)),
+        ]
+        report = check_sequence(ops, toy_params())
+        assert report.ok, list(report.findings)
+
+
+class TestRunChecked:
+    def test_verified_sequence_executes_correctly(self):
+        from repro.fhe.ckks import CkksContext
+
+        params = toy_params()
+        ctx = CkksContext(params)
+        ctx.generate_galois_keys([1])
+        rng = np.random.default_rng(7)
+        slots = params.n // 2
+        a = rng.uniform(-1, 1, slots)
+        b = rng.uniform(-1, 1, slots)
+
+        ops = ckks_mult_rotate_sequence(params.levels)
+        values = run_checked(ops, ctx, [a, b], label="toy pipeline")
+        got = ctx.decrypt(values[-1]).real
+        want = np.roll((a * b) ** 2, -1)
+        np.testing.assert_allclose(got, want, atol=1e-2)
+
+    def test_bad_sequence_raises_without_executing(self):
+        from repro.fhe.ckks import CkksContext
+
+        params = toy_params()
+        ctx = CkksContext(params)
+        ops = [
+            Op("encrypt"), Op("encrypt"),
+            Op("multiply", (0, 1)),
+            Op("multiply", (2, 2)),  # scale overflow: C002
+        ]
+        with pytest.raises(CtStateError) as excinfo:
+            run_checked(ops, ctx, [np.zeros(params.n // 2)] * 2)
+        assert "C002" in str(excinfo.value)
+        assert not excinfo.value.report.ok
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            check_sequence([], toy_params(), scheme="tfhe")

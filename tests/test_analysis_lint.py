@@ -280,10 +280,108 @@ class TestSuppressions:
             """) == []
 
     def test_wrong_rule_does_not_suppress(self):
+        # The finding still fires, and the mismatched suppression is
+        # itself reported as stale (FHC010).
         assert _rules("""
             def f(x):
                 return x.astype(np.int64)  # fhecheck: ok=FHC001
-            """) == ["FHC002"]
+            """) == ["FHC002", "FHC010"]
+
+
+class TestFHC008SequenceCheckGuard:
+    def test_flags_unchecked_execution(self):
+        assert "FHC008" in _rules("""
+            def f(ops, ctx, inputs):
+                return execute_sequence(ops, ctx, inputs)
+            """)
+
+    def test_checked_entry_point_shape_exempts(self):
+        # The exact shape of ctstate.run_checked must pass its own rule.
+        assert _rules("""
+            def run_checked(ops, ctx, inputs, label=""):
+                report = check_sequence(ops, ctx.params, label=label)
+                if report.ok:
+                    return execute_sequence(ops, ctx, inputs)
+                raise CtStateError(report)
+            """) == []
+
+    def test_raise_on_error_guard_exempts(self):
+        assert _rules("""
+            def f(ops, ctx, inputs):
+                check_sequence(ops, ctx.params).raise_on_error()
+                report = check_sequence(ops, ctx.params)
+                if report.ok:
+                    return execute_sequence(ops, ctx, inputs)
+            """) == []
+
+    def test_check_after_execution_still_flagged(self):
+        assert "FHC008" in _rules("""
+            def f(ops, ctx, inputs):
+                out = execute_sequence(ops, ctx, inputs)
+                check_sequence(ops, ctx.params)
+                return out
+            """)
+
+    def test_suppression(self):
+        assert _rules("""
+            def f(ops, ctx, inputs):
+                return execute_sequence(ops, ctx, inputs)  # fhecheck: ok=FHC008
+            """) == []
+
+
+class TestFHC009SramStagingGuard:
+    def test_flags_unchecked_stage(self):
+        assert "FHC009" in _rules("""
+            def f(self, work):
+                self.sram.stage(work)
+            """)
+
+    def test_fits_check_exempts(self):
+        assert _rules("""
+            def f(self, work):
+                if not self.sram.fits(work.size):
+                    raise ValueError("working set does not fit")
+                self.sram.stage(work)
+            """) == []
+
+    def test_capacity_reference_exempts(self):
+        assert _rules("""
+            def f(self, work):
+                assert work.size * 8 <= self.sram.capacity_bytes
+                self.sram.stage(work)
+            """) == []
+
+    def test_non_sram_receiver_exempt(self):
+        assert _rules("""
+            def f(self, work):
+                self.pipeline.stage(work)
+            """) == []
+
+
+class TestFHC010UnusedSuppression:
+    def test_stale_suppression_warned(self):
+        findings = lint_source(textwrap.dedent("""
+            def f(x):
+                return x + 1  # fhecheck: ok=FHC002
+            """))
+        assert [f.rule for f in findings] == ["FHC010"]
+        assert findings[0].severity.value == "warning"
+
+    def test_used_suppression_not_warned(self):
+        assert _rules("""
+            def f(x):
+                return x.astype(np.int64)  # fhecheck: ok=FHC002
+            """) == []
+
+    def test_docstring_mention_is_inert(self):
+        # Suppressions live in COMMENT tokens only; prose mentioning the
+        # marker (docstrings, string fixtures) neither suppresses nor
+        # counts as stale.
+        assert _rules('''
+            def f(x):
+                """Explains the marker: # fhecheck: ok=FHC002 — unused."""
+                return x.astype(np.int64)
+            ''') == ["FHC002"]
 
 
 class TestDriver:

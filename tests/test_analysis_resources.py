@@ -1,0 +1,157 @@
+"""Symbolic SRAM/DRAM resource verification of staged plans (R rules)."""
+
+from repro.accel.dram import DramModel
+from repro.accel.sram import OnChipSram
+from repro.analysis.resources import (
+    Alloc,
+    Compute,
+    Evict,
+    Stage,
+    StagedPlan,
+    Writeback,
+    analyze_staged_plan,
+    automorphism_staging_plan,
+    keyswitch_staging_plan,
+    ntt_staging_plan,
+)
+from repro.fhe.params import default_params, toy_params
+
+
+def _error_rules(report) -> list[str]:
+    return [f.rule for f in report.findings.errors]
+
+
+class TestCanonicalPlansClean:
+    def test_keyswitch_plans_fit_default_sram(self):
+        for params in (toy_params(), default_params()):
+            report = analyze_staged_plan(keyswitch_staging_plan(params))
+            assert report.ok, list(report.findings)
+            assert 0 < report.peak_words <= report.capacity_words
+            assert report.dram_words > 0 and report.dram_ns > 0
+
+    def test_ntt_and_automorphism_plans_fit(self):
+        big = default_params()
+        for plan in (ntt_staging_plan(256, 16),
+                     ntt_staging_plan(big.n, 64),
+                     automorphism_staging_plan(big.n, big.levels + 1)):
+            report = analyze_staged_plan(plan)
+            assert report.ok, list(report.findings)
+
+    def test_keyswitch_double_buffering_counts_prefetch(self):
+        # The prefetch overlap must be visible in the peak: one digit
+        # resident + its key + both accumulators + the next digit in
+        # flight.
+        params = toy_params()
+        n, limbs = params.n, params.levels + 1
+        report = analyze_staged_plan(keyswitch_staging_plan(params))
+        assert report.peak_words == n * limbs * (1 + 2 + 2) + n * limbs
+
+
+class TestR001CapacityOverflow:
+    def test_undersized_sram_refused(self):
+        plan = keyswitch_staging_plan(default_params())
+        full = analyze_staged_plan(plan)
+        shrunk = OnChipSram(capacity_bytes=full.peak_words * 8 // 2)
+        report = analyze_staged_plan(plan, shrunk)
+        assert not report.ok
+        assert set(_error_rules(report)) == {"R001"}
+        assert report.peak_words == full.peak_words
+
+    def test_reported_once_per_overflow_transition(self):
+        plan = StagedPlan("overflow-once", (
+            Stage("a", 10),
+            Stage("b", 10),   # 20 > 12: overflow starts here
+            Stage("c", 10),   # still overflowed: not re-reported
+            Evict("b"),
+            Evict("c"),       # back under capacity
+            Stage("d", 10),   # second transition: reported again
+            Evict("a"),
+            Evict("d"),
+        ))
+        report = analyze_staged_plan(plan, OnChipSram(capacity_bytes=12 * 8))
+        assert _error_rules(report) == ["R001", "R001"]
+
+
+class TestR002UseAfterEvict:
+    def test_read_after_evict(self):
+        plan = StagedPlan("uae", (
+            Stage("a", 4),
+            Evict("a"),
+            Compute("use", reads=("a",)),
+        ))
+        report = analyze_staged_plan(plan)
+        assert _error_rules(report) == ["R002"]
+
+    def test_restage_after_evict_is_a_legal_reload(self):
+        plan = StagedPlan("reload", (
+            Stage("a", 4),
+            Evict("a"),
+            Stage("a", 4),
+            Compute("use", reads=("a",)),
+            Evict("a"),
+        ))
+        assert analyze_staged_plan(plan).ok
+
+
+class TestR003UnknownBuffer:
+    def test_read_of_never_staged_buffer(self):
+        plan = StagedPlan("unknown", (
+            Compute("use", reads=("ghost",)),
+        ))
+        report = analyze_staged_plan(plan)
+        assert _error_rules(report) == ["R003"]
+
+    def test_reported_once_per_buffer(self):
+        plan = StagedPlan("unknown-twice", (
+            Compute("use", reads=("ghost",)),
+            Writeback("ghost"),
+        ))
+        report = analyze_staged_plan(plan)
+        assert _error_rules(report) == ["R003"]
+
+
+class TestR004DoubleBufferConflict:
+    def test_prefetch_overlapping_active_read(self):
+        plan = StagedPlan("conflict", (
+            Stage("a", 4),
+            Compute("use", reads=("a",), prefetch=("a", 4)),
+        ))
+        report = analyze_staged_plan(plan)
+        assert _error_rules(report) == ["R004"]
+
+    def test_disjoint_prefetch_is_clean_and_becomes_resident(self):
+        plan = StagedPlan("pipelined", (
+            Stage("a", 4),
+            Compute("use a", reads=("a",), prefetch=("b", 4)),
+            Evict("a"),
+            Compute("use b", reads=("b",)),
+            Evict("b"),
+        ))
+        report = analyze_staged_plan(plan)
+        assert report.ok
+        assert report.peak_words == 8  # a resident + b in flight
+
+
+class TestAccounting:
+    def test_dram_traffic_counts_stages_prefetch_and_writebacks(self):
+        plan = StagedPlan("traffic", (
+            Stage("a", 100),
+            Compute("work", reads=("a",), writes=("a",),
+                    prefetch=("b", 50)),
+            Writeback("a"),
+            Evict("a"),
+            Evict("b"),
+        ))
+        dram = DramModel()
+        report = analyze_staged_plan(plan, dram=dram)
+        assert report.dram_words == 100 + 50 + 100
+        assert report.dram_ns == dram.transfer_ns(report.dram_words * 8)
+
+    def test_alloc_charges_no_dram_traffic(self):
+        plan = StagedPlan("alloc", (
+            Alloc("out", 64),
+            Evict("out"),
+        ))
+        report = analyze_staged_plan(plan)
+        assert report.dram_words == 0
+        assert report.peak_words == 64
