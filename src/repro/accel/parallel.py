@@ -35,6 +35,13 @@ from repro.mapping import (
 from repro.obs import current_obs_hook
 
 
+class PoolExhaustedError(RuntimeError):
+    """Every VPU in the pool is retired — no healthy unit can accept
+    work.  Raised by :meth:`ParallelVpuPool.retire` instead of letting a
+    capacity-zero pool deadlock its callers; the serving layer maps it
+    to a typed rejection."""
+
+
 @dataclass
 class ParallelRunReport:
     """Outcome of one batched run."""
@@ -92,6 +99,38 @@ class ParallelVpuPool:
                                  memory_rows=memory_rows)
             for _ in range(num_vpus)
         ]
+
+    @property
+    def healthy_units(self) -> tuple[int, ...]:
+        """Indices of VPUs still in the scheduling rotation."""
+        return tuple(i for i in range(self.num_vpus)
+                     if i not in self.quarantined)
+
+    def retire(self, index: int) -> None:
+        """Explicitly retire one VPU from the rotation (the serving
+        layer's capacity-shrink path, also used by chaos campaigns).
+
+        Raises :class:`PoolExhaustedError` when the retirement would
+        leave no healthy unit — the pool refuses to become a deadlock
+        and the caller must reject or re-route instead.  Retiring an
+        already-retired unit is a no-op.
+        """
+        if not 0 <= index < self.num_vpus:
+            raise ValueError(f"VPU index {index} out of range "
+                             f"[0, {self.num_vpus})")
+        if index in self.quarantined:
+            return
+        remaining = [i for i in self.healthy_units if i != index]
+        if not remaining:
+            raise PoolExhaustedError(
+                f"refusing to retire VPU {index}: it is the last healthy "
+                f"unit of {self.num_vpus} (the pool would deadlock)")
+        self.quarantined.add(index)
+        obs = current_obs_hook()
+        if obs is not None:
+            obs.count("pool.retirements")
+            obs.gauge("pool.quarantined_vpus", len(self.quarantined))
+            obs.gauge("pool.healthy_vpus", len(remaining))
 
     def _pick_vpu(self, idx: int, attempt: int) -> int:
         """Round-robin over the healthy units; a retry (attempt > 0)

@@ -70,6 +70,18 @@ fast paths silently go wrong:
     whatever it is handed; staging a working set that does not fit
     silently models a machine with infinite SRAM.
 
+``FHC011`` **bare backend await in the serving layer** — inside
+    :mod:`repro.serve` (the only async package), an ``await`` whose
+    awaited expression reaches backend work (kernel dispatch, op
+    execution, ``asyncio.to_thread``/``run_in_executor`` offloads) must
+    be wrapped in the deadline/cancellation helper
+    (:func:`repro.serve.deadline.with_deadline` or a ``*_with_deadline``
+    wrapper).  A bare await on backend work can outlive its request's
+    deadline — exactly the hang the serving layer promises can never
+    happen.  Awaits on queue/lock/sleep primitives are exempt (they are
+    bounded by the request watchdog), as is the wrapper's own internal
+    ``asyncio.wait_for``.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -109,6 +121,19 @@ _CJIT_LAZY_RE = re.compile(r"^cjit_\w*_(?:lazy|unclamped)$")
 #: point (FHC008); the verdict provider tracked as the guard.
 _SEQUENCE_EXECUTORS = {"execute_sequence", "replay_sequence"}
 _SEQUENCE_CHECK_SUFFIX = "check_sequence"
+#: Files subject to FHC011: the async serving layer.
+_SERVE_PATH_RE = re.compile(r"repro[/\\]serve[/\\]")
+#: Names that mark an awaited expression as *backend work* (FHC011):
+#: kernel/op dispatch verbs and thread-offload primitives.  The naming
+#: convention is load-bearing, like FHC007's ``cjit_*`` prefix: serve
+#: code names its backend entry points with these verbs and keeps
+#: bounded primitives (queue get, lock acquire, sleep) off the list.
+_SERVE_WORK_RE = re.compile(
+    r"(?:^|_)(?:ntt|intt|keyswitch|hmult|hrot|rescale|rotate|multiply|"
+    r"automorphism|execute|compute|dispatch|kernel)(?:_|$)"
+    r"|^to_thread$|^run_in_executor$|_batch$")
+#: The sanctioned deadline/cancellation wrappers (FHC011).
+_DEADLINE_WRAPPER = "with_deadline"
 
 
 def _dtype_name(node: ast.expr) -> str | None:
@@ -343,6 +368,8 @@ class _Linter(ast.NodeVisitor):
         self.suppressions = _Suppressions(source)
         self.findings = FindingList()
         self._fn_stack: list[ast.AST] = []
+        #: FHC011 applies only inside the async serving layer.
+        self._serve_file = bool(_SERVE_PATH_RE.search(filename))
 
     # -- helpers -----------------------------------------------------------
 
@@ -465,6 +492,43 @@ class _Linter(ast.NodeVisitor):
                     "lazy/unclamped stage result is never clamped "
                     "(np.minimum) or reduced (%) afterwards — a >= q "
                     "value may escape this function")
+
+    # -- FHC011: bare backend await in the serving layer -------------------
+
+    @staticmethod
+    def _call_name(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self._serve_file:
+            self._check_serve_await(node)
+        self.generic_visit(node)
+
+    def _check_serve_await(self, node: ast.Await) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = self._call_name(value)
+            if name is not None and (name == _DEADLINE_WRAPPER
+                                     or name.endswith("_" + _DEADLINE_WRAPPER)):
+                return  # sanctioned: the wrapper owns the timeout
+        for sub in ast.walk(value):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None and _SERVE_WORK_RE.search(name):
+                self._flag(
+                    "FHC011", node,
+                    f"backend work ({name!r}) awaited outside the "
+                    f"deadline/cancellation helper — wrap the awaitable "
+                    f"in with_deadline(...) so it cannot outlive the "
+                    f"request deadline")
+                return
 
     # -- FHC005/FHC006: unguarded hook dereference -------------------------
 

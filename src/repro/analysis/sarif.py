@@ -71,6 +71,7 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "FHC008": "op-sequence executor bypasses the checked entry point",
     "FHC009": "SRAM staging without a capacity check",
     "FHC010": "suppression comment no longer suppresses any finding",
+    "FHC011": "backend work awaited outside the deadline wrapper in repro.serve",
 }
 
 _PATH_LINE_RE = re.compile(r"^(?P<path>[^\s:]+\.py):(?P<line>\d+)$")

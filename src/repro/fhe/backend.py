@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import warnings
 from contextlib import contextmanager
 
@@ -50,13 +51,18 @@ from repro.ntt.negacyclic import NegacyclicNtt, get_batched_ntt
 from repro.obs import current_obs_hook
 
 _NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
+_NTT_CACHE_LOCK = threading.Lock()
 
 
 def _ntt(n: int, q: int) -> NegacyclicNtt:
+    # Lock-protected lookup-and-build: the serving layer hits this cache
+    # from overlapping tasks, and each (n, q) must be built exactly once.
     key = (n, q)
-    if key not in _NTT_CACHE:
-        _NTT_CACHE[key] = NegacyclicNtt(n, q)
-    return _NTT_CACHE[key]
+    with _NTT_CACHE_LOCK:
+        ntt = _NTT_CACHE.get(key)
+        if ntt is None:
+            ntt = _NTT_CACHE[key] = NegacyclicNtt(n, q)
+    return ntt
 
 
 class NumpyBackend:
@@ -184,6 +190,11 @@ class VpuBackend:
         self.verify_programs = verify_programs
         self._programs: dict[tuple, object] = {}
         self._quarantined: set[tuple] = set()
+        #: Guards the compiled-program cache and quarantine set (the
+        #: serving layer shares one backend across overlapping tasks;
+        #: per-key compilation must happen exactly once).  RLock so
+        #: clear/quarantine paths may nest.
+        self._cache_lock = threading.RLock()
 
     @property
     def vpu(self):
@@ -206,28 +217,32 @@ class VpuBackend:
         """Drop one cached compiled program (recompiled on next use) —
         the integrity layer's first response to a failed check, since
         the cached artifact itself may be the poisoned state."""
-        return self._programs.pop(self._key(kind, n, q, galois_k),
-                                  None) is not None
+        with self._cache_lock:
+            return self._programs.pop(self._key(kind, n, q, galois_k),
+                                      None) is not None
 
     def quarantine_program(self, kind: str, n: int, q: int,
                            galois_k: int | None = None) -> None:
         """Blacklist a compiled program: dropped now and refused later
         (:class:`ProgramQuarantinedError`) until :meth:`clear_caches`."""
         key = self._key(kind, n, q, galois_k)
-        self._programs.pop(key, None)
-        self._quarantined.add(key)
+        with self._cache_lock:
+            self._programs.pop(key, None)
+            self._quarantined.add(key)
 
     @property
     def quarantined_programs(self) -> tuple[tuple, ...]:
-        return tuple(sorted(self._quarantined, key=repr))
+        with self._cache_lock:
+            return tuple(sorted(self._quarantined, key=repr))
 
     def clear_caches(self) -> None:
         """Forget every compiled program, lift all quarantines, and
         zero the cache hit/miss counters (a fresh cache instance)."""
-        self._programs.clear()
-        self._quarantined.clear()
-        self.program_cache_hits = 0
-        self.program_cache_misses = 0
+        with self._cache_lock:
+            self._programs.clear()
+            self._quarantined.clear()
+            self.program_cache_hits = 0
+            self.program_cache_misses = 0
         obs = current_obs_hook()
         if obs is not None:
             obs.count("backend.program_cache.clears")
@@ -250,45 +265,46 @@ class VpuBackend:
         """
         key = self._key(kind, n, q, galois_k)
         obs = current_obs_hook()
-        if key in self._quarantined:
+        with self._cache_lock:
+            if key in self._quarantined:
+                if obs is not None:
+                    obs.count("backend.program_cache.quarantine_refusals")
+                raise ProgramQuarantinedError(
+                    f"compiled program {key} is quarantined after detected "
+                    f"corruption")
+            prog = self._programs.get(key)
+            if prog is not None:
+                self.program_cache_hits += 1
+            else:
+                self.program_cache_misses += 1
             if obs is not None:
-                obs.count("backend.program_cache.quarantine_refusals")
-            raise ProgramQuarantinedError(
-                f"compiled program {key} is quarantined after detected "
-                f"corruption")
-        prog = self._programs.get(key)
-        if prog is not None:
-            self.program_cache_hits += 1
-        else:
-            self.program_cache_misses += 1
-        if obs is not None:
-            obs.count("backend.program_cache.hit" if prog is not None
-                      else "backend.program_cache.miss")
-        if prog is None:
-            from repro.mapping import compile_automorphism
-            from repro.mapping.ntt import (
-                compile_negacyclic_intt,
-                compile_negacyclic_ntt,
-            )
+                obs.count("backend.program_cache.hit" if prog is not None
+                          else "backend.program_cache.miss")
+            if prog is None:
+                from repro.mapping import compile_automorphism
+                from repro.mapping.ntt import (
+                    compile_negacyclic_intt,
+                    compile_negacyclic_ntt,
+                )
 
-            if kind == "ntt":
-                prog = compile_negacyclic_ntt(n, self.m, q)
-            elif kind == "intt":
-                prog = compile_negacyclic_intt(n, self.m, q)
-            elif kind == "auto":
-                perm = galois_eval_permutation(n, galois_k)
-                prog = compile_automorphism(perm, self.m)
-            else:  # pragma: no cover - internal misuse
-                raise ValueError(f"unknown kernel kind {kind!r}")
-            if self.verify_programs:
-                # Raises ProgramVerificationError before a bad program
-                # can enter the cache (and be replayed limb after limb).
-                from repro.analysis.program_check import check_program
+                if kind == "ntt":
+                    prog = compile_negacyclic_ntt(n, self.m, q)
+                elif kind == "intt":
+                    prog = compile_negacyclic_intt(n, self.m, q)
+                elif kind == "auto":
+                    perm = galois_eval_permutation(n, galois_k)
+                    prog = compile_automorphism(perm, self.m)
+                else:  # pragma: no cover - internal misuse
+                    raise ValueError(f"unknown kernel kind {kind!r}")
+                if self.verify_programs:
+                    # Raises ProgramVerificationError before a bad program
+                    # can enter the cache (and be replayed limb after limb).
+                    from repro.analysis.program_check import check_program
 
-                check_program(prog, q=q, m=self.m).raise_on_error()
-                self.programs_verified += 1
-            self.program_compilations += 1
-            self._programs[key] = prog
+                    check_program(prog, q=q, m=self.m).raise_on_error()
+                    self.programs_verified += 1
+                self.program_compilations += 1
+                self._programs[key] = prog
         if obs is not None:
             self._publish_cache_metrics(obs)
         return prog
@@ -711,8 +727,14 @@ def clear_caches() -> None:
     backend's compiled programs and quarantines.  Fault campaigns and
     tests call this between runs so poisoned state cannot leak across
     experiments.  (Twiddle tables stay cached: they are pure functions
-    of ``(n, q)`` that no injection site ever writes.)"""
-    _NTT_CACHE.clear()
+    of ``(n, q)`` that no injection site ever writes.)
+
+    With a live metrics registry the cache hit/miss/size gauges of both
+    program caches are zeroed as well — a metrics snapshot taken after a
+    reset must not report the dropped caches' stale counters, even when
+    the backend that published them is no longer the active one."""
+    with _NTT_CACHE_LOCK:
+        _NTT_CACHE.clear()
     get_batched_ntt.cache_clear()
     kernel_plans = sys.modules.get("repro.kernels.plan")
     if kernel_plans is not None:
@@ -720,6 +742,10 @@ def clear_caches() -> None:
     clearer = getattr(_ACTIVE, "clear_caches", None)
     if clearer is not None:
         clearer()
+    obs = current_obs_hook()
+    if obs is not None:
+        obs.zero_gauges("backend.program_cache.")
+        obs.zero_gauges("backend.compiled_plan_cache.")
 
 
 def set_backend(backend) -> None:

@@ -22,6 +22,8 @@ Three process-global caches live here, all reset by
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.analysis.bounds import compiled_ntt_ok, ntt_shoup_ok, unclamped_dit_ok
@@ -78,37 +80,43 @@ class CompiledPlan:
 class PlanCache:
     """Keyed plan store with hit/miss counters — the compiled backend's
     analogue of the ``VpuBackend`` program cache, surfaced through the
-    same obs gauge pattern."""
+    same obs gauge pattern.  Lookup-and-build is lock-protected so
+    overlapping serving tasks build each ``(n, primes)`` plan once and
+    the hit/miss counters stay exact under concurrency."""
 
     def __init__(self) -> None:
         self._plans: dict[tuple[int, tuple[int, ...]], CompiledPlan] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, n: int, primes: tuple[int, ...]) -> CompiledPlan:
         key = (n, primes)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                return plan
+            self.misses += 1
+            plan = CompiledPlan(n, primes)
+            self._plans[key] = plan
             return plan
-        self.misses += 1
-        plan = CompiledPlan(n, primes)
-        self._plans[key] = plan
-        return plan
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def clear(self) -> None:
         """Drop every plan and zero the counters (fresh cache instance)."""
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 _PLAN_CACHE = PlanCache()
-_WORKSPACES: dict[tuple[int, int], np.ndarray] = {}
+_WORKSPACES = threading.local()
 _DESTINATIONS: dict[tuple[int, int], np.ndarray] = {}
+_DESTINATIONS_LOCK = threading.Lock()
 
 
 def plan_cache() -> PlanCache:
@@ -122,12 +130,20 @@ def get_plan(n: int, primes: tuple[int, ...]) -> CompiledPlan:
 
 
 def get_workspace(rows: int, n: int) -> np.ndarray:
-    """Reusable ``(rows, n)`` uint64 scratch buffer for one dispatch."""
+    """Reusable ``(rows, n)`` uint64 scratch buffer for one dispatch.
+
+    Workspaces are **thread-local**: the plan/destination tables are
+    immutable and safely shared, but scratch is written by every
+    dispatch, so concurrent same-shape dispatches from the serving
+    layer's worker threads each get their own buffer."""
+    pool = getattr(_WORKSPACES, "buffers", None)
+    if pool is None:
+        pool = _WORKSPACES.buffers = {}
     key = (rows, n)
-    buf = _WORKSPACES.get(key)
+    buf = pool.get(key)
     if buf is None:
         buf = np.empty((rows, n), dtype=np.uint64)
-        _WORKSPACES[key] = buf
+        pool[key] = buf
     return buf
 
 
@@ -135,21 +151,32 @@ def get_destinations(n: int, galois_k: int) -> np.ndarray:
     """Contiguous int64 destination table of the Galois permutation
     ``X -> X**galois_k`` (slot ``i`` lands at ``dest[i]``)."""
     key = (n, galois_k)
-    dest = _DESTINATIONS.get(key)
-    if dest is None:
-        from repro.automorphism.mapping import galois_eval_permutation
+    with _DESTINATIONS_LOCK:
+        dest = _DESTINATIONS.get(key)
+        if dest is None:
+            from repro.automorphism.mapping import galois_eval_permutation
 
-        dest = np.ascontiguousarray(
-            galois_eval_permutation(n, galois_k).destinations(),
-            dtype=np.int64)
-        _DESTINATIONS[key] = dest
+            dest = np.ascontiguousarray(
+                galois_eval_permutation(n, galois_k).destinations(),
+                dtype=np.int64)
+            _DESTINATIONS[key] = dest
     return dest
 
 
 def clear_compiled_caches() -> None:
     """Reset every compiled-backend cache: plans (constant tables plus
     counters), workspace buffers, and automorphism destination tables.
-    Wired into the module-level :func:`repro.fhe.backend.clear_caches`."""
+    Wired into the module-level :func:`repro.fhe.backend.clear_caches`.
+
+    Also zeroes the ``backend.compiled_plan_cache.*`` obs gauges (when a
+    metrics registry is live), so a snapshot taken after a reset does
+    not report the dropped cache's stale hit/miss figures."""
+    from repro.obs import current_obs_hook
+
     _PLAN_CACHE.clear()
-    _WORKSPACES.clear()
-    _DESTINATIONS.clear()
+    getattr(_WORKSPACES, "buffers", {}).clear()
+    with _DESTINATIONS_LOCK:
+        _DESTINATIONS.clear()
+    obs = current_obs_hook()
+    if obs is not None:
+        obs.zero_gauges("backend.compiled_plan_cache.")

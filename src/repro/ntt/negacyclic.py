@@ -16,9 +16,9 @@ the raw hardware order used on the VPU, where no reversal is ever needed.
 
 from __future__ import annotations
 
-import numpy as np
+import threading
 
-from functools import lru_cache
+import numpy as np
 
 from repro.analysis.bounds import unclamped_dit_ok
 from repro.ntt.cooley_tukey import (
@@ -192,12 +192,33 @@ class BatchedNegacyclicNtt:
         return x * self._psi_inv_ninv % self._q_col
 
 
-@lru_cache(maxsize=128)
+_BATCHED_CACHE: "dict[tuple[int, tuple[int, ...], bool], BatchedNegacyclicNtt]" = {}
+_BATCHED_LOCK = threading.Lock()
+
+
 def get_batched_ntt(n: int, primes: tuple[int, ...],
                     clamped: bool = False) -> BatchedNegacyclicNtt:
     """Cached :class:`BatchedNegacyclicNtt` per ``(n, primes, clamped)``
-    stack (``repro.fhe.backend.clear_caches`` drops the cache)."""
-    return BatchedNegacyclicNtt(n, primes, clamped)
+    stack (``repro.fhe.backend.clear_caches`` drops the cache).
+
+    Thread-safe: lookup-and-build holds a lock, so overlapping serving
+    tasks construct each stack exactly once."""
+    key = (n, primes, clamped)
+    with _BATCHED_LOCK:
+        ntt = _BATCHED_CACHE.get(key)
+        if ntt is None:
+            ntt = _BATCHED_CACHE[key] = BatchedNegacyclicNtt(n, primes, clamped)
+    return ntt
+
+
+def _clear_batched_cache() -> None:
+    with _BATCHED_LOCK:
+        _BATCHED_CACHE.clear()
+
+
+#: lru_cache-compatible reset hook (``repro.fhe.backend.clear_caches``
+#: still calls ``get_batched_ntt.cache_clear()``).
+get_batched_ntt.cache_clear = _clear_batched_cache  # type: ignore[attr-defined]
 
 
 def negacyclic_poly_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

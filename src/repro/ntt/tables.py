@@ -9,7 +9,7 @@ CKKS reuses the same ring for every limb operation.
 
 from __future__ import annotations
 
-from functools import lru_cache
+import threading
 
 import numpy as np
 
@@ -235,7 +235,30 @@ class NttTables:
         return f"NttTables(n={self.n}, q={self.q})"
 
 
-@lru_cache(maxsize=64)
+_TABLES_CACHE: dict[tuple[int, int], NttTables] = {}
+_TABLES_LOCK = threading.Lock()
+
+
 def get_tables(n: int, q: int) -> NttTables:
-    """Cached :class:`NttTables` lookup."""
-    return NttTables(n, q)
+    """Cached :class:`NttTables` lookup.
+
+    Thread-safe: the serving layer shares one process-global table cache
+    across overlapping requests, so lookup-and-build is atomic — each
+    ``(n, q)`` shape is constructed exactly once.
+    """
+    key = (n, q)
+    with _TABLES_LOCK:
+        tables = _TABLES_CACHE.get(key)
+        if tables is None:
+            tables = _TABLES_CACHE[key] = NttTables(n, q)
+    return tables
+
+
+def _clear_tables_cache() -> None:
+    with _TABLES_LOCK:
+        _TABLES_CACHE.clear()
+
+
+#: lru_cache-compatible reset hook (kept for callers written against the
+#: previous ``functools.lru_cache`` implementation).
+get_tables.cache_clear = _clear_tables_cache  # type: ignore[attr-defined]

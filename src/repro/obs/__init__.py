@@ -96,6 +96,10 @@ class Observer:
     def gauge(self, name: str, value: float) -> None:
         self.metrics.gauge(name, value)
 
+    def zero_gauges(self, prefix: str) -> int:
+        """Zero existing gauges under ``prefix`` (cache-reset paths)."""
+        return self.metrics.zero_gauges(prefix)
+
     def observe_value(self, name: str, value: float) -> None:
         self.metrics.observe(name, value)
 

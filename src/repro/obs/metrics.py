@@ -68,6 +68,17 @@ class MetricsRegistry:
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 
+    def zero_gauges(self, prefix: str) -> int:
+        """Zero every **existing** gauge whose name starts with
+        ``prefix`` (no new gauges are created); returns how many were
+        reset.  Cache-reset paths call this so a snapshot taken after
+        ``clear_caches()`` does not report the dropped cache's stale
+        hit/miss figures."""
+        matched = [name for name in self.gauges if name.startswith(prefix)]
+        for name in matched:
+            self.gauges[name] = 0
+        return len(matched)
+
     def snapshot(self) -> dict:
         """A plain-dict view, deterministic key order."""
         return {

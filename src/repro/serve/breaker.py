@@ -1,0 +1,102 @@
+"""Per-backend circuit breaker driven by integrity verdicts.
+
+The serving engine keeps one breaker per degradation-ladder level it
+can dispatch to.  Repeated ABFT/verification failures against a level
+trip its breaker *open*, which routes subsequent traffic one rung down
+the ladder immediately — requests stop burning their deadline budget on
+a backend that is demonstrably corrupting results.  After
+``reset_timeout`` the breaker goes *half-open* and admits a bounded
+number of recovery probes; a probe success closes the breaker (the
+backend healed — e.g. the quarantined compiled program was rebuilt), a
+probe failure re-opens it with a fresh timer.
+
+The state machine is clock-injected and lock-free: the engine runs on
+one event loop, so transitions are naturally serialized.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "STATE_CLOSED", "STATE_HALF_OPEN", "STATE_OPEN"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open recovery probes."""
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 0.5,
+                 probe_limit: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probe_limit < 1:
+            raise ValueError("probe_limit must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.probe_limit = probe_limit
+        self.clock = clock
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        #: Lifetime count of closed->open transitions (an obs gauge feed).
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open->half_open when the reset
+        timer has elapsed."""
+        if (self._state == STATE_OPEN
+                and self.clock() - self._opened_at >= self.reset_timeout):
+            self._state = STATE_HALF_OPEN
+            self._probes_inflight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be dispatched against this backend now?
+
+        Closed: always.  Open: never.  Half-open: only while fewer than
+        ``probe_limit`` probes are outstanding — the caller *must*
+        follow up with :meth:`record_success` or :meth:`record_failure`
+        to release the probe slot.
+        """
+        state = self.state
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_OPEN:
+            return False
+        if self._probes_inflight < self.probe_limit:
+            self._probes_inflight += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A dispatch against this backend verified clean."""
+        if self.state == STATE_HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A dispatch failed its integrity check (or timed out)."""
+        state = self.state
+        if state == STATE_HALF_OPEN:
+            # A failed probe re-opens immediately with a fresh timer.
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+        self.opened_total += 1

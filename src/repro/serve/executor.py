@@ -1,0 +1,170 @@
+"""Executors: the backends the serving engine dispatches requests to.
+
+Two implementations of one small duck-typed contract::
+
+    async def run(request, level, straggle=1.0) -> value
+    def verify(request, value) -> bool       # integrity verdict
+    def corrupt(value) -> value              # chaos helper: a detectably
+                                             # wrong value of the same type
+    def health() -> float                    # capacity fraction in [0, 1]
+
+* :class:`CkksOpExecutor` performs **real** ciphertext operations
+  (keyswitch, hmult, hrot, rescale) on toy CKKS parameters through the
+  repo's kernel-backend stack, with the degradation ladder mapped onto
+  backend modes exactly as :class:`~repro.fhe.backend.IntegrityBackend`
+  defines it: level 0 = the configured backend, level 1 = clamped
+  numpy, level 2 = per-row golden.  Verification decrypts and compares
+  against a precomputed golden plaintext, so a corrupted result can
+  never pass.
+* :class:`SimulatedExecutor` replaces compute with seeded service-time
+  sleeps and fingerprint values — the open-loop benchmark uses it to
+  push 100k+ requests through the *scheduling* machinery in seconds
+  while keeping verification meaningful (a corrupted fingerprint fails
+  the check).
+
+Ops are synchronous numpy work executed inline on the event loop: at
+toy sizes each op is far below the attempt timeout, and inline
+execution keeps results bit-deterministic (no cross-thread backend
+mutation).  The engine's deadline wrapper still bounds the *awaitable*
+around them, which is what chaos drops and stragglers stress.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+
+import numpy as np
+
+from repro.fhe.backend import NumpyBackend, use_backend
+from repro.fhe.ckks import Ciphertext, CkksContext
+from repro.fhe.params import CkksParams, toy_params
+from repro.serve.requests import OPS, ServeRequest
+
+__all__ = ["CkksOpExecutor", "SimulatedExecutor"]
+
+#: Service-time multiplier per degradation-ladder level — degraded
+#: paths are safer but slower (the golden path is per-row scalar code).
+LEVEL_SLOWDOWN = (1.0, 1.4, 2.5)
+
+
+class CkksOpExecutor:
+    """Real CKKS ops on toy parameters through the backend stack."""
+
+    def __init__(self, params: CkksParams | None = None, seed: int = 7,
+                 pool=None):
+        self.params = toy_params() if params is None else params
+        self.pool = pool
+        self.ctx = CkksContext(self.params, seed=2025)
+        self.ctx.generate_galois_keys([1])
+        rng = np.random.default_rng(seed)
+        slots = self.params.slots
+        self._ct_a = self.ctx.encrypt(rng.normal(0.0, 1.0, slots))
+        self._ct_b = self.ctx.encrypt(rng.normal(0.0, 1.0, slots))
+        # An unrelinearized 3-part product: the keyswitch op folds its
+        # s^2 component back, exercising apply_keyswitch in isolation.
+        a, b = self.ctx._check_levels(self._ct_a, self._ct_b)
+        self._ct3 = Ciphertext(
+            [a.parts[0] * b.parts[0],
+             a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0],
+             a.parts[1] * b.parts[1]],
+            a.scale * b.scale)
+        self._ct_prod = self.ctx.multiply(self._ct_a, self._ct_b,
+                                          rescale_after=False)
+        self._clamped = NumpyBackend(mode="clamped")
+        self._golden_backend = NumpyBackend(mode="golden")
+        #: Golden decryptions, one per op, computed on the default path.
+        self.golden = {op: self._apply(op) for op in OPS}
+
+    def _apply(self, op: str) -> np.ndarray:
+        if op == "hmult":
+            out = self.ctx.multiply(self._ct_a, self._ct_b,
+                                    rescale_after=False)
+        elif op == "rescale":
+            out = self.ctx.rescale(self._ct_prod)
+        elif op == "hrot":
+            out = self.ctx.rotate(self._ct_a, 1)
+        elif op == "keyswitch":
+            out = self.ctx.relinearize(self._ct3)
+        else:  # pragma: no cover - ServeRequest validates the op
+            raise ValueError(f"unknown op {op!r}")
+        return self.ctx.decrypt(out)
+
+    async def run(self, request: ServeRequest, level: int,
+                  straggle: float = 1.0) -> np.ndarray:
+        """Perform the op; a straggler factor repeats the work, the way
+        a slow limb replays on the redundant unit."""
+        repeats = max(1, int(round(straggle)))
+        ladder = (None, self._clamped, self._golden_backend)
+        value = None
+        for _ in range(repeats):
+            if level == 0:
+                value = self._apply(request.op)
+            else:
+                with use_backend(ladder[min(level, 2)]):
+                    value = self._apply(request.op)
+            await asyncio.sleep(0)  # yield between repeats
+        assert value is not None
+        return value
+
+    def verify(self, request: ServeRequest, value: np.ndarray) -> bool:
+        """Decrypted result must match the precomputed golden plaintext
+        (all ladder levels compute the identical integer result)."""
+        golden = self.golden[request.op]
+        return bool(np.allclose(value, golden, rtol=0.0, atol=1e-6))
+
+    def corrupt(self, value: np.ndarray) -> np.ndarray:
+        return value + 1000.0
+
+    def health(self) -> float:
+        if self.pool is None:
+            return 1.0
+        return len(self.pool.healthy_units) / self.pool.num_vpus
+
+
+class SimulatedExecutor:
+    """Seeded service-time model for scheduler-scale benchmarks.
+
+    The value of a request is a CRC fingerprint of its identity, so the
+    engine's verify step is real (a chaos-corrupted fingerprint fails)
+    while compute is a single ``asyncio.sleep``.  Service times are a
+    pure function of ``(seed, request_id)`` — replays are identical.
+    """
+
+    #: Mean service seconds per op (toy-parameter-ish ratios).
+    SERVICE_MEAN = {"keyswitch": 0.0008, "hmult": 0.0010,
+                    "hrot": 0.0009, "rescale": 0.0004}
+
+    def __init__(self, seed: int = 0, time_scale: float = 1.0, pool=None):
+        self.seed = seed
+        self.time_scale = time_scale
+        self.pool = pool
+
+    def service_time(self, request: ServeRequest, level: int) -> float:
+        rng = np.random.default_rng((self.seed, request.request_id,
+                                     request.payload))
+        base = self.SERVICE_MEAN[request.op]
+        jitter = float(rng.lognormal(mean=0.0, sigma=0.35))
+        return (base * jitter * LEVEL_SLOWDOWN[min(level, 2)]
+                * self.time_scale)
+
+    @staticmethod
+    def fingerprint(request: ServeRequest) -> int:
+        return zlib.crc32(f"{request.request_id}:{request.op}:"
+                          f"{request.payload}".encode())
+
+    async def run(self, request: ServeRequest, level: int,
+                  straggle: float = 1.0) -> int:
+        await asyncio.sleep(self.service_time(request, level) * straggle)
+        return self.fingerprint(request)
+
+    def verify(self, request: ServeRequest, value: int) -> bool:
+        return value == self.fingerprint(request)
+
+    def corrupt(self, value: int) -> int:
+        return value ^ 0xDEAD_BEEF
+
+    def health(self) -> float:
+        if self.pool is None:
+            return 1.0
+        return len(self.pool.healthy_units) / self.pool.num_vpus

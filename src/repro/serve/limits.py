@@ -1,0 +1,116 @@
+"""Rate limiting, retry budgets, and deterministic backoff.
+
+Three small, clock-injected primitives:
+
+* :class:`TokenBucket` — the per-tenant admission limiter.  Refill is
+  continuous (``rate`` tokens/second up to ``burst``); a failed acquire
+  yields a ``retry_after`` hint so rejections are actionable rather
+  than bare errors.
+* :class:`RetryBudget` — a token bucket in retry units: each completed
+  request earns back a fraction (``ratio``) of a retry, so under
+  sustained failure a tenant's replays are bounded to ``ratio`` of its
+  traffic instead of amplifying the overload (the classic retry-storm
+  guard).
+* :class:`RetryPolicy` — exponential backoff with **deterministic**
+  jitter: the delay is a pure function of ``(seed, request_id,
+  attempt)``, so chaos campaigns replay bit-identically while distinct
+  requests still decorrelate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+__all__ = ["RetryBudget", "RetryPolicy", "TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._updated = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have accumulated (0 if they
+        are already there) — the hint a rejection carries."""
+        self._refill()
+        deficit = n - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class RetryBudget:
+    """Per-tenant retry allowance proportional to completed traffic.
+
+    Starts with ``initial`` retries banked; every completed request
+    deposits ``ratio`` of a retry (capped at ``cap``).  ``try_spend``
+    withdraws one retry if the balance allows.  With ``ratio = 0.1`` a
+    tenant's steady-state replay traffic is at most 10% of its
+    completions — failures shed load instead of multiplying it.
+    """
+
+    def __init__(self, ratio: float = 0.1, initial: float = 3.0,
+                 cap: float = 10.0):
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {ratio}")
+        self.ratio = ratio
+        self.cap = cap
+        self.balance = min(float(initial), cap)
+
+    def deposit(self) -> None:
+        """Credit one completed request."""
+        self.balance = min(self.cap, self.balance + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry; False means the budget is exhausted."""
+        if self.balance >= 1.0:
+            self.balance -= 1.0
+            return True
+        return False
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic decorrelated jitter.
+
+    ``delay(request_id, attempt)`` is ``base * multiplier**(attempt-1)``
+    capped at ``max_delay``, scaled by a jitter factor in ``[0.5, 1.5)``
+    drawn from a PRNG seeded with ``(seed, request_id, attempt)`` — no
+    hidden randomness, so a replayed campaign backs off identically.
+    """
+
+    def __init__(self, base: float = 0.002, multiplier: float = 2.0,
+                 max_delay: float = 0.05, seed: int = 0):
+        self.base = base
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.seed = seed
+
+    def delay(self, request_id: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.max_delay,
+                  self.base * self.multiplier ** max(0, attempt - 1))
+        rng = random.Random(f"{self.seed}:{request_id}:{attempt}")
+        return raw * (0.5 + rng.random())

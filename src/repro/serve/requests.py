@@ -1,0 +1,101 @@
+"""Request/result records of the serving layer.
+
+A :class:`ServeRequest` names a tenant, one ciphertext op, and carries
+its :class:`~repro.serve.deadline.Deadline`.  A :class:`ServeResult` is
+the *only* thing :meth:`~repro.serve.engine.ServeEngine.submit` ever
+returns — failures are statuses, not exceptions, so callers (and the
+chaos campaign's invariant checks) can account for every submitted
+request:
+
+========== =================================================================
+status     meaning
+========== =================================================================
+ok         served at ladder level 0, verification clean
+degraded   served correctly but at ladder level > 0 (clamped/golden path)
+rejected   admission control refused it; ``retry_after`` carries the hint
+timeout    the deadline (or the watchdog grace) expired before completion
+error      a typed failure — ``error`` holds the exception class name
+========== =================================================================
+
+``ok``/``degraded`` results carry a value; the other three never do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.deadline import Deadline
+
+__all__ = [
+    "OPS",
+    "RESOLVED_STATUSES",
+    "STATUS_DEGRADED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+    "ServeRequest",
+    "ServeResult",
+]
+
+#: The ciphertext operations the serving layer accepts.
+OPS = ("keyswitch", "hmult", "hrot", "rescale")
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_REJECTED = "rejected"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+#: Every status a result may resolve to — the chaos campaign asserts
+#: each submitted request lands in exactly one of these.
+RESOLVED_STATUSES = frozenset({
+    STATUS_OK, STATUS_DEGRADED, STATUS_REJECTED, STATUS_TIMEOUT,
+    STATUS_ERROR,
+})
+
+
+@dataclass
+class ServeRequest:
+    """One tenant-issued ciphertext operation."""
+
+    request_id: int
+    tenant: str
+    op: str
+    deadline: Deadline
+    #: Seed material for synthetic payloads (the simulated executor
+    #: derives its service time from it; the CKKS executor ignores it).
+    payload: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {OPS}")
+
+
+@dataclass
+class ServeResult:
+    """The resolution of one request — always returned, never raised."""
+
+    request_id: int
+    tenant: str
+    op: str
+    status: str
+    level: int = 0
+    attempts: int = 0
+    retries: int = 0
+    value: Any = None
+    #: Exception class name for timeout/error statuses, admission
+    #: reason for rejections, None on success.
+    error: str | None = None
+    #: Server hint (seconds) accompanying a rejection.
+    retry_after: float | None = None
+    #: Wall-clock phase attribution in nanoseconds:
+    #: queue / dispatch / compute / verify.
+    phases: dict[str, int] = field(default_factory=dict)
+    #: End-to-end latency (submit to resolution), seconds.
+    latency: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_DEGRADED)

@@ -1,0 +1,122 @@
+"""Synthetic multi-tenant workload traces (open- and closed-loop).
+
+The generator is seeded and purely functional: a
+:class:`TraceConfig` maps to one immutable arrival list, so benchmarks
+and chaos campaigns replay the same offered load every run.
+
+Open-loop traces model bursty arrivals the way serving papers do:
+a base Poisson process whose rate is multiplied by ``burst_factor``
+during burst episodes (episode starts are themselves a Poisson process,
+durations exponential).  Closed-loop traces instead fix a client count
+and think time — the driver in :mod:`repro.serve.bench` interprets the
+same items either way.
+
+Each item carries a relative arrival offset, tenant, op, timeout class,
+and payload seed; :func:`materialize` turns one into a live
+:class:`~repro.serve.requests.ServeRequest` (deadlines are absolute, so
+they must be minted at submit time, not generation time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.deadline import Deadline
+from repro.serve.requests import OPS, ServeRequest
+
+__all__ = ["TraceConfig", "TraceItem", "generate_trace", "materialize"]
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """One planned arrival (relative to trace start)."""
+
+    request_id: int
+    offset: float
+    tenant: str
+    op: str
+    timeout: float
+    payload: int
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the synthetic workload."""
+
+    requests: int = 1000
+    tenants: int = 4
+    seed: int = 0
+    #: Base arrival rate (requests/second) of the open-loop process.
+    rate: float = 4000.0
+    #: Rate multiplier while a burst episode is active.
+    burst_factor: float = 6.0
+    #: Fraction of wall time spent inside burst episodes.
+    burst_fraction: float = 0.15
+    #: Mean burst episode length in seconds.
+    burst_length: float = 0.05
+    #: Deadline classes (seconds) and their weights.
+    timeouts: tuple[float, ...] = (0.08, 0.25, 1.0)
+    timeout_weights: tuple[float, ...] = (0.2, 0.6, 0.2)
+    #: Op mix weights aligned with repro.serve.requests.OPS.
+    op_weights: tuple[float, ...] = (0.3, 0.3, 0.25, 0.15)
+    #: Zipf-ish tenant skew exponent (0 = uniform).
+    tenant_skew: float = 0.8
+
+
+def _tenant_weights(config: TraceConfig) -> np.ndarray:
+    ranks = np.arange(1, config.tenants + 1, dtype=float)
+    weights = ranks ** -config.tenant_skew
+    return weights / weights.sum()
+
+
+def generate_trace(config: TraceConfig) -> list[TraceItem]:
+    """The full arrival list, sorted by offset."""
+    rng = np.random.default_rng(config.seed)
+    ops = np.array(OPS)
+    op_w = np.array(config.op_weights, dtype=float)
+    op_w /= op_w.sum()
+    t_w = np.array(config.timeout_weights, dtype=float)
+    t_w /= t_w.sum()
+    tenant_w = _tenant_weights(config)
+
+    items: list[TraceItem] = []
+    now = 0.0
+    burst_until = 0.0
+    # Mean gap between burst starts so the stationary burst fraction
+    # matches the config: starts ~ Poisson(burst_length/burst_fraction).
+    burst_gap = config.burst_length / max(config.burst_fraction, 1e-6)
+    next_burst = float(rng.exponential(burst_gap))
+    for request_id in range(config.requests):
+        rate = config.rate
+        if now < burst_until:
+            rate *= config.burst_factor
+        elif now >= next_burst:
+            burst_until = now + float(rng.exponential(config.burst_length))
+            next_burst = burst_until + float(rng.exponential(burst_gap))
+            rate *= config.burst_factor
+        now += float(rng.exponential(1.0 / rate))
+        items.append(TraceItem(
+            request_id=request_id,
+            offset=now,
+            tenant=f"tenant-{rng.choice(config.tenants, p=tenant_w)}",
+            op=str(rng.choice(ops, p=op_w)),
+            timeout=float(rng.choice(np.array(config.timeouts), p=t_w)),
+            payload=int(rng.integers(0, 2**31)),
+        ))
+    return items
+
+
+def materialize(item: TraceItem,
+                clock: Callable[[], float] = time.monotonic) -> ServeRequest:
+    """Mint the live request for one trace item (deadline starts now)."""
+    return ServeRequest(
+        request_id=item.request_id,
+        tenant=item.tenant,
+        op=item.op,
+        deadline=Deadline.after(item.timeout, clock),
+        payload=item.payload,
+    )

@@ -384,6 +384,73 @@ class TestFHC010UnusedSuppression:
             ''') == ["FHC002"]
 
 
+class TestFHC011ServeDeadline:
+    SERVE = "src/repro/serve/engine.py"
+
+    def _serve_rules(self, source: str) -> list[str]:
+        import textwrap
+
+        from repro.analysis.lint import lint_source
+
+        return [f.rule for f in
+                lint_source(textwrap.dedent(source), filename=self.SERVE)]
+
+    def test_flags_bare_backend_await(self):
+        assert "FHC011" in self._serve_rules("""
+            async def handler(backend, ct):
+                return await backend.keyswitch(ct)
+            """)
+
+    def test_flags_executor_style_work_names(self):
+        assert "FHC011" in self._serve_rules("""
+            async def handler(pool, rows):
+                return await pool.run_ntt_batch(rows)
+            """)
+        assert "FHC011" in self._serve_rules("""
+            async def handler(loop, fn):
+                return await loop.run_in_executor(None, fn)
+            """)
+
+    def test_deadline_wrapper_sanctions_the_await(self):
+        assert self._serve_rules("""
+            async def handler(backend, ct, deadline):
+                return await with_deadline(backend.keyswitch(ct), deadline)
+            """) == []
+
+    def test_named_wrapper_variants_sanction(self):
+        assert self._serve_rules("""
+            async def handler(backend, ct, deadline):
+                return await dispatch_with_deadline(backend, ct, deadline)
+            """) == []
+
+    def test_queue_and_sleep_awaits_exempt(self):
+        assert self._serve_rules("""
+            async def worker(queue, lock):
+                item = await queue.get()
+                await asyncio.sleep(0.1)
+                async with lock:
+                    pass
+                return item
+            """) == []
+
+    def test_rule_scoped_to_serve_package(self):
+        import textwrap
+
+        from repro.analysis.lint import lint_source
+
+        source = textwrap.dedent("""
+            async def handler(backend, ct):
+                return await backend.keyswitch(ct)
+            """)
+        assert lint_source(source, filename="src/repro/fhe/other.py") == []
+
+    def test_suppression_comment_applies(self):
+        assert self._serve_rules("""
+            async def handler(backend, ct):
+                return await backend.keyswitch(ct)  # fhecheck: ok=FHC011
+            """) == []
+
+
 class TestDriver:
     def test_syntax_error_is_a_finding(self):
         findings = lint_source("def f(:", filename="broken.py")
