@@ -414,6 +414,76 @@ def _scheme_of(ctx: Any) -> str:
     raise TypeError(f"cannot infer scheme from context {name}")
 
 
+def execute_op(op: Op, ctx: Any, values: Sequence[Any], feed: Any,
+               *, scheme: str | None = None) -> Any:
+    """Execute **one** recorded op against a real scheme context.
+
+    ``values`` holds the results of earlier ops (indexed by ``srcs``)
+    and ``feed`` is an iterator yielding one value array per
+    ``encrypt`` / ``multiply_plain`` op.  This is the single-step core
+    both :func:`execute_sequence` and the durable executor
+    (:mod:`repro.recover`) loop over; like the sequence executors it is
+    subject to lint rule ``FHC008`` — callers must hold a
+    ``check_sequence`` verdict for the sequence the op belongs to.
+    """
+    import numpy as np
+
+    if scheme is None:
+        scheme = _scheme_of(ctx)
+
+    def ct_with_parts(ct: Any, parts: list[Any], scale: float) -> Any:
+        from repro.fhe.ckks import Ciphertext
+        return Ciphertext(parts, scale)
+
+    a = values[op.srcs[0]] if op.srcs else None
+    b = values[op.srcs[1]] if len(op.srcs) > 1 else None
+    kind = op.kind
+    if kind == "encrypt":
+        out = ctx.encrypt(np.asarray(next(feed)))
+    elif kind == "add":
+        out = ctx.add(a, b)
+    elif kind == "sub":
+        out = ctx.sub(a, b)
+    elif kind == "multiply":
+        if scheme == "ckks":
+            out = ctx.multiply(a, b, rescale_after=False)
+        elif scheme == "bgv":
+            out = ctx.multiply(a, b, switch_modulus=False)
+        else:
+            out = ctx.multiply(a, b)
+    elif kind == "multiply_plain":
+        values_in = np.asarray(next(feed))
+        if scheme == "ckks":
+            out = ctx.multiply_plain(a, values_in, rescale_after=False)
+        else:
+            out = ctx.multiply_plain(a, values_in)
+    elif kind == "tensor":
+        d0 = a.parts[0] * b.parts[0]
+        d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
+        d2 = a.parts[1] * b.parts[1]
+        out = ct_with_parts(a, [d0, d1, d2], a.scale * b.scale)
+    elif kind == "relinearize":
+        out = ctx.relinearize(a)
+    elif kind == "rescale":
+        out = ctx.rescale(a)
+    elif kind == "rotate":
+        out = ctx.rotate(a, op.arg if op.arg is not None else 1)
+    elif kind == "conjugate":
+        out = ctx.conjugate(a)
+    elif kind == "mod_reduce":
+        target = op.arg if op.arg is not None else a.level - 1
+        out = ctx.mod_reduce(a, target)
+    elif kind == "mod_switch":
+        out = ctx.mod_switch(a)
+    elif kind == "ntt":
+        out = ct_with_parts(a, [p.to_eval() for p in a.parts], a.scale)
+    elif kind == "intt":
+        out = ct_with_parts(a, [p.to_coeff() for p in a.parts], a.scale)
+    else:
+        raise ValueError(f"cannot execute op kind {kind!r}")
+    return out
+
+
 def execute_sequence(ops: Sequence[Op], ctx: Any,
                      inputs: Sequence[Any]) -> list[Any]:
     """Replay a sequence on a real scheme context.
@@ -424,64 +494,14 @@ def execute_sequence(ops: Sequence[Op], ctx: Any,
     verifies the sequence first — calling this directly is flagged by
     lint rule ``FHC008``.
     """
-    import numpy as np
-
     scheme = _scheme_of(ctx)
     feed = iter(inputs)
     values: list[Any] = []
-
-    def ct_with_parts(ct: Any, parts: list[Any], scale: float) -> Any:
-        from repro.fhe.ckks import Ciphertext
-        return Ciphertext(parts, scale)
-
     for op in ops:
-        a = values[op.srcs[0]] if op.srcs else None
-        b = values[op.srcs[1]] if len(op.srcs) > 1 else None
-        kind = op.kind
-        if kind == "encrypt":
-            out = ctx.encrypt(np.asarray(next(feed)))
-        elif kind == "add":
-            out = ctx.add(a, b)
-        elif kind == "sub":
-            out = ctx.sub(a, b)
-        elif kind == "multiply":
-            if scheme == "ckks":
-                out = ctx.multiply(a, b, rescale_after=False)
-            elif scheme == "bgv":
-                out = ctx.multiply(a, b, switch_modulus=False)
-            else:
-                out = ctx.multiply(a, b)
-        elif kind == "multiply_plain":
-            values_in = np.asarray(next(feed))
-            if scheme == "ckks":
-                out = ctx.multiply_plain(a, values_in, rescale_after=False)
-            else:
-                out = ctx.multiply_plain(a, values_in)
-        elif kind == "tensor":
-            d0 = a.parts[0] * b.parts[0]
-            d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
-            d2 = a.parts[1] * b.parts[1]
-            out = ct_with_parts(a, [d0, d1, d2], a.scale * b.scale)
-        elif kind == "relinearize":
-            out = ctx.relinearize(a)
-        elif kind == "rescale":
-            out = ctx.rescale(a)
-        elif kind == "rotate":
-            out = ctx.rotate(a, op.arg if op.arg is not None else 1)
-        elif kind == "conjugate":
-            out = ctx.conjugate(a)
-        elif kind == "mod_reduce":
-            target = op.arg if op.arg is not None else a.level - 1
-            out = ctx.mod_reduce(a, target)
-        elif kind == "mod_switch":
-            out = ctx.mod_switch(a)
-        elif kind == "ntt":
-            out = ct_with_parts(a, [p.to_eval() for p in a.parts], a.scale)
-        elif kind == "intt":
-            out = ct_with_parts(a, [p.to_coeff() for p in a.parts], a.scale)
-        else:
-            raise ValueError(f"cannot execute op kind {kind!r}")
-        values.append(out)
+        # execute_sequence is itself the guarded executor: its callers
+        # hold the check_sequence verdict (run_checked's shape).
+        # fhecheck: ok=FHC008 — the per-op core inherits this call's verdict
+        values.append(execute_op(op, ctx, values, feed, scheme=scheme))
     return values
 
 

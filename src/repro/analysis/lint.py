@@ -82,6 +82,18 @@ fast paths silently go wrong:
     bounded by the request watchdog), as is the wrapper's own internal
     ``asyncio.wait_for``.
 
+``FHC012`` **non-durable write in the recovery layer** — inside
+    :mod:`repro.recover` (the durable-execution package), a
+    ``.write(...)`` call in a function with no visible fsync evidence
+    (an ``os.fsync``/``*fsync*`` call in the same function).  The
+    crash-recovery guarantee rests on the write-ahead log's fsync
+    discipline: a journal append that is not flushed through the
+    fsync'd :meth:`repro.recover.wal.WriteAheadLog.append` API can be
+    lost (or half-written without detection) on a crash the campaign
+    would then classify as silent.  Route journal appends through
+    ``append()``; raw writes are legal only inside functions that fsync
+    what they wrote.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -119,10 +131,12 @@ _LAZY_KERNELS = {"dif_stages_lazy", "dit_stages_lazy",
 _CJIT_LAZY_RE = re.compile(r"^cjit_\w*_(?:lazy|unclamped)$")
 #: Recorded-sequence executors that must go through the checked entry
 #: point (FHC008); the verdict provider tracked as the guard.
-_SEQUENCE_EXECUTORS = {"execute_sequence", "replay_sequence"}
+_SEQUENCE_EXECUTORS = {"execute_sequence", "replay_sequence", "execute_op"}
 _SEQUENCE_CHECK_SUFFIX = "check_sequence"
 #: Files subject to FHC011: the async serving layer.
 _SERVE_PATH_RE = re.compile(r"repro[/\\]serve[/\\]")
+#: Files subject to FHC012: the durable-execution layer.
+_RECOVER_PATH_RE = re.compile(r"repro[/\\]recover[/\\]")
 #: Names that mark an awaited expression as *backend work* (FHC011):
 #: kernel/op dispatch verbs and thread-offload primitives.  The naming
 #: convention is load-bearing, like FHC007's ``cjit_*`` prefix: serve
@@ -370,6 +384,8 @@ class _Linter(ast.NodeVisitor):
         self._fn_stack: list[ast.AST] = []
         #: FHC011 applies only inside the async serving layer.
         self._serve_file = bool(_SERVE_PATH_RE.search(filename))
+        #: FHC012 applies only inside the durable-execution layer.
+        self._recover_file = bool(_RECOVER_PATH_RE.search(filename))
 
     # -- helpers -----------------------------------------------------------
 
@@ -395,6 +411,7 @@ class _Linter(ast.NodeVisitor):
         self._check_compiled_gate_guards(node)
         self._check_sequence_entry(node)
         self._check_sram_staging(node)
+        self._check_durable_writes(node)
         self.generic_visit(node)
         self._fn_stack.pop()
 
@@ -658,6 +675,37 @@ class _Linter(ast.NodeVisitor):
                 "— call sram.fits(...) (or assert against capacity) "
                 "before .stage(...), else oversized working sets model "
                 "an infinite SRAM silently")
+
+    # -- FHC012: non-durable write in the recovery layer -------------------
+
+    def _check_durable_writes(self, fn: ast.AST) -> None:
+        """Inside ``repro/recover/``, every function that performs a
+        ``.write(...)`` must show fsync evidence (an ``os.fsync`` call
+        or ``*fsync*`` name) in the same function — the WAL's
+        :meth:`append` shape.  Journal appends elsewhere must go
+        through that API instead of writing file handles directly."""
+        if not self._recover_file:
+            return
+        writes = [
+            node for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write"
+        ]
+        if not writes:
+            return
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and "fsync" in node.attr:
+                return
+            if isinstance(node, ast.Name) and "fsync" in node.id:
+                return
+        for call in writes:
+            self._flag(
+                "FHC012", call,
+                "file write in the recovery layer with no fsync evidence "
+                "in this function — journal appends must go through the "
+                "fsync'd WriteAheadLog.append() API (a bare write can be "
+                "lost on the very crash the journal exists to survive)")
 
     def _check_hook_call(self, node: ast.Call, aliases: set[str],
                          guarded: bool, rule: str, suffix: str,

@@ -72,6 +72,7 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "FHC009": "SRAM staging without a capacity check",
     "FHC010": "suppression comment no longer suppresses any finding",
     "FHC011": "backend work awaited outside the deadline wrapper in repro.serve",
+    "FHC012": "non-durable file write in repro.recover (no fsync evidence)",
 }
 
 _PATH_LINE_RE = re.compile(r"^(?P<path>[^\s:]+\.py):(?P<line>\d+)$")

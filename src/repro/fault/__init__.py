@@ -6,6 +6,9 @@
 * :mod:`repro.fault.integrity` — O(n) ABFT checks: random-combination
   NTT checksums, exact automorphism replay, spare-modulus keyswitch
   verification.
+* :mod:`repro.fault.crash` — process-level crash sites (seeded SIGKILL
+  at op boundaries and mid-WAL-record torn writes) for the
+  durable-execution kill campaign (:mod:`repro.recover`).
 * :mod:`repro.fault.policy` — the runtime response ladder (off /
   detect / detect+retry / detect+degrade).
 * :mod:`repro.fault.report` — structured campaign results.
@@ -15,6 +18,17 @@
   can import the leaf modules without a cycle.
 """
 
+from repro.fault.crash import (
+    PROCESS_SITES,
+    SITE_OP_BOUNDARY,
+    SITE_WAL_MID_RECORD,
+    CrashInjector,
+    CrashSpec,
+    crash_point,
+    current_crash_hook,
+    install_crash_hook,
+    pending_tear,
+)
 from repro.fault.injector import (
     ALL_SITES,
     BUFFER_SITES,
@@ -36,14 +50,23 @@ __all__ = [
     "CORE_SITES",
     "KINDS",
     "OUTCOMES",
+    "PROCESS_SITES",
+    "SITE_OP_BOUNDARY",
+    "SITE_WAL_MID_RECORD",
     "SPARE_MODULUS",
     "AbftChecker",
+    "CrashInjector",
+    "CrashSpec",
     "FaultEvent",
     "FaultInjector",
     "FaultReport",
     "FaultSpec",
     "IntegrityPolicy",
+    "crash_point",
+    "current_crash_hook",
     "current_fault_hook",
+    "install_crash_hook",
     "install_fault_hook",
+    "pending_tear",
     "use_fault_hook",
 ]

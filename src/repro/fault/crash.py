@@ -1,0 +1,141 @@
+"""Process-level crash sites: seeded SIGKILL injection for the
+durable-execution layer.
+
+The sites in :mod:`repro.fault.injector` corrupt *data* inside a live
+process; the sites here kill the *process itself*, the failure mode the
+write-ahead log in :mod:`repro.recover` exists to survive.  A
+:class:`CrashSpec` names one seeded crash point:
+
+* ``op_boundary`` — the worker is SIGKILLed between two journaled ops
+  (all completed work is on disk; the journal tail is whole).
+* ``wal_mid_record`` — the worker is SIGKILLed halfway through a WAL
+  append, after only a prefix of the record's bytes reached the file
+  (a *torn write*; recovery must detect and truncate the tail).
+
+Like the data-fault hooks, the crash hook is a process-global installed
+by the campaign driver inside the forked worker; production code paths
+consult it through :func:`crash_point` (op boundaries) and
+:func:`pending_tear` (the WAL append path), both exact no-ops when no
+hook is installed.  The kill is a real ``SIGKILL`` to ``os.getpid()`` —
+no Python-level cleanup, no atexit, no flushed buffers — so the worker
+dies exactly the way a power loss or OOM kill would.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+__all__ = [
+    "PROCESS_SITES",
+    "SITE_OP_BOUNDARY",
+    "SITE_WAL_MID_RECORD",
+    "CrashInjector",
+    "CrashSpec",
+    "crash_point",
+    "current_crash_hook",
+    "install_crash_hook",
+    "pending_tear",
+]
+
+SITE_OP_BOUNDARY = "op_boundary"
+SITE_WAL_MID_RECORD = "wal_mid_record"
+
+#: Every process-level crash site the kill campaign sweeps.
+PROCESS_SITES = (SITE_OP_BOUNDARY, SITE_WAL_MID_RECORD)
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One seeded process crash.
+
+    ``at`` counts occurrences of the site (0-based): the ``at``-th op
+    boundary, or the ``at``-th WAL append.  ``tear_fraction`` applies
+    only to ``wal_mid_record`` — the fraction of the record's bytes
+    flushed to disk before the kill (clamped so at least one byte is
+    written and at least one is missing).
+    """
+
+    site: str
+    at: int
+    tear_fraction: float = 0.5
+
+    def kill(self) -> None:
+        """SIGKILL to self, bypassing all cleanup — called by the WAL
+        after it has flushed the torn prefix of the record."""
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def __post_init__(self) -> None:
+        if self.site not in PROCESS_SITES:
+            raise ValueError(f"unknown crash site {self.site!r}; "
+                             f"choose from {PROCESS_SITES}")
+        if self.at < 0:
+            raise ValueError(f"crash occurrence must be >= 0, got {self.at}")
+
+
+class CrashInjector:
+    """Counts site occurrences and SIGKILLs the process at the spec.
+
+    One injector carries at most one spec per site; the campaign runs
+    one spec per forked worker, mirroring the one-fault-per-run
+    discipline of the data-fault campaigns.
+    """
+
+    def __init__(self, specs: "list[CrashSpec] | tuple[CrashSpec, ...]"):
+        self.specs = {spec.site: spec for spec in specs}
+        self.counts = {site: 0 for site in PROCESS_SITES}
+
+    def _hit(self, site: str) -> "CrashSpec | None":
+        """Advance the site counter; return the spec if this occurrence
+        is the seeded crash point."""
+        spec = self.specs.get(site)
+        index = self.counts[site]
+        self.counts[site] = index + 1
+        if spec is not None and index == spec.at:
+            return spec
+        return None
+
+    def kill(self) -> None:
+        """The actual crash: SIGKILL to self, bypassing all cleanup."""
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+_ACTIVE_CRASH_HOOK: CrashInjector | None = None
+
+
+def install_crash_hook(hook: CrashInjector | None) -> CrashInjector | None:
+    """Install the process-global crash injector (None disables);
+    returns the previous hook so callers can restore it."""
+    global _ACTIVE_CRASH_HOOK
+    previous = _ACTIVE_CRASH_HOOK
+    _ACTIVE_CRASH_HOOK = hook
+    return previous
+
+
+def current_crash_hook() -> CrashInjector | None:
+    """The process-global crash injector, or None when disabled."""
+    return _ACTIVE_CRASH_HOOK
+
+
+def crash_point(site: str) -> None:
+    """Declare a crash site; SIGKILLs the process when the installed
+    spec names this occurrence.  Exact no-op when no hook is installed."""
+    hook = current_crash_hook()
+    if hook is not None:
+        if hook._hit(site) is not None:
+            hook.kill()
+
+
+def pending_tear() -> "CrashSpec | None":
+    """The WAL-append crash site: advance the ``wal_mid_record`` counter
+    and return the spec when *this* append is the seeded torn write.
+
+    The WAL needs the spec (not just a yes/no) because the tear happens
+    mid-write: it flushes ``tear_fraction`` of the record, fsyncs, and
+    only then calls :meth:`CrashInjector.kill`.
+    """
+    hook = current_crash_hook()
+    if hook is not None:
+        return hook._hit(SITE_WAL_MID_RECORD)
+    return None

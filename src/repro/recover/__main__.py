@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.recover``."""
+
+import sys
+
+from repro.recover.cli import main
+
+sys.exit(main())

@@ -1,0 +1,109 @@
+"""``python -m repro.recover`` — the kill campaign and recovery bench.
+
+Modes:
+
+* ``--campaign`` — fork/SIGKILL the durable executor at seeded crash
+  points, resume every journal, and classify each run
+  (recovered-bit-identical / detected-torn / failed).  Exit status is
+  non-zero on any failed run or silent divergence — the CI gate.
+* ``--bench`` — the committed-artifact mode: a full two-executor
+  campaign plus the resume-latency-vs-checkpoint-interval sweep,
+  written as a ``schema: 1`` envelope (``BENCH_recover.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import host_envelope
+from repro.recover.campaign import (CLASSIFICATIONS, EXECUTORS,
+                                    recovery_latency_sweep, run_campaign)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recover",
+        description="durable-execution kill campaign and recovery bench")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--campaign", action="store_true",
+                      help="run the seeded SIGKILL campaign")
+    mode.add_argument("--bench", action="store_true",
+                      help="campaign + latency sweep, written as a "
+                           "schema:1 artifact")
+    parser.add_argument("--executor", choices=(*EXECUTORS, "both"),
+                        default="both",
+                        help="workload executor to crash (default both)")
+    parser.add_argument("--injections", type=int, default=100,
+                        help="seeded crash injections (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--interval", type=int, default=4,
+                        help="checkpoint interval in ops (default 4)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the campaign result JSON here")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_recover.json"),
+                        help="bench artifact path "
+                             "(default BENCH_recover.json)")
+    return parser
+
+
+def _executors(choice: str) -> tuple[str, ...]:
+    return EXECUTORS if choice == "both" else (choice,)
+
+
+def _print_summary(result) -> None:
+    counts = result.counts
+    print(f"kill campaign: {len(result.runs)} injections")
+    for name in CLASSIFICATIONS:
+        print(f"  {name:24s} {counts[name]}")
+    print(f"  {'silent divergences':24s} {result.silent_divergences}")
+    for run in result.runs:
+        if run.classification == "failed":
+            print(f"  FAILED {run.executor}/{run.site}@{run.at}: "
+                  f"{run.error}")
+    print("PASS" if result.ok else "FAIL")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.campaign:
+        result = run_campaign(
+            executors=_executors(args.executor),
+            injections=args.injections, seed=args.seed,
+            checkpoint_interval=args.interval, progress=print)
+        _print_summary(result)
+        if args.json is not None:
+            args.json.write_text(json.dumps(result.to_json(), indent=2)
+                                 + "\n")
+            print(f"wrote {args.json}")
+        return 0 if result.ok else 1
+
+    # --bench: the committed artifact.
+    result = run_campaign(
+        executors=_executors(args.executor),
+        injections=args.injections, seed=args.seed,
+        checkpoint_interval=args.interval, progress=print)
+    _print_summary(result)
+    print("latency sweep (resume time vs checkpoint interval):")
+    sweep = recovery_latency_sweep(seed=args.seed)
+    for row in sweep:
+        print(f"  interval={row['checkpoint_interval']:2d}  "
+              f"skipped={row['skipped_ops']:2d}  "
+              f"replayed={row['replayed_ops']:2d}  "
+              f"resume={row['resume_ms_best']:.1f} ms")
+    artifact = host_envelope("recover")
+    campaign_json = result.to_json()
+    campaign_json.pop("runs")  # per-run detail stays in --json mode
+    artifact["campaign"] = campaign_json
+    artifact["latency_sweep"] = sweep
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

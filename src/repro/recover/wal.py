@@ -1,0 +1,195 @@
+"""The append-only, checksummed, fsync-disciplined write-ahead log.
+
+Record framing (little-endian)::
+
+    +----------------+----------------+----------------+-------+---------+
+    | payload len u32| crc32      u32 | sequence   u64 | type  | payload |
+    +----------------+----------------+----------------+-------+---------+
+          4                 4                8            1       len
+
+The CRC covers sequence, type, and payload, so a flipped bit anywhere
+in a record (or a half-written tail) fails verification.  Sequence
+numbers are dense from zero; a gap or repeat marks the scan boundary
+exactly like a bad CRC does.
+
+Durability discipline — the property lint rule ``FHC012`` enforces
+statically and the kill campaign enforces dynamically:
+
+* :meth:`WriteAheadLog.append` writes the framed record, flushes, and
+  ``os.fsync``\\ s before returning.  Once ``append`` returns, the
+  record survives SIGKILL.
+* Readers (:func:`scan`) treat the first unparseable record as the
+  *torn tail*: everything before it is trusted (CRC-verified),
+  everything from it on is discarded.  :func:`truncate_torn_tail`
+  physically truncates the file (fsync'd) so the next append extends a
+  clean log.
+
+A torn tail is an expected artifact of a crash mid-append, not
+corruption: the WAL's contract is that a record is either durably whole
+or detectably absent — never silently half-applied.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fault.crash import pending_tear
+
+__all__ = ["Record", "ScanResult", "WriteAheadLog", "scan",
+           "truncate_torn_tail"]
+
+_HEADER = struct.Struct("<IIQB")
+#: Max payload the scanner will believe; a torn length field otherwise
+#: makes it try to read gigabytes.
+_MAX_PAYLOAD = 1 << 28
+
+
+@dataclass(frozen=True)
+class Record:
+    """One durable log record."""
+
+    seq: int
+    rtype: int
+    payload: bytes
+
+
+@dataclass
+class ScanResult:
+    """Everything a recovery pass needs to know about a log file."""
+
+    records: list[Record]
+    #: Byte offset of the first unparseable record (== file size when
+    #: the log is whole).
+    valid_bytes: int
+    #: Total bytes on disk at scan time.
+    total_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        """True when the log ends in a torn (or corrupt) tail."""
+        return self.valid_bytes < self.total_bytes
+
+
+def _crc(seq: int, rtype: int, payload: bytes) -> int:
+    return zlib.crc32(struct.pack("<QB", seq, rtype) + payload)
+
+
+class WriteAheadLog:
+    """Append-only writer over one log file.
+
+    Opening an existing file resumes its sequence numbering from the
+    valid prefix (the caller is expected to have truncated a torn tail
+    first — :meth:`open_clean` does both).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        result = scan(self.path) if self.path.exists() else None
+        if result is not None and result.torn:
+            raise TornLogError(
+                f"{self.path} has a torn tail at byte {result.valid_bytes}"
+                f" of {result.total_bytes}; truncate before appending")
+        self._seq = len(result.records) if result is not None else 0
+        self._fh = open(self.path, "ab")
+        self.appended = 0
+
+    @classmethod
+    def open_clean(cls, path: str | Path) -> "tuple[WriteAheadLog, ScanResult]":
+        """Scan, truncate any torn tail, and open for appending.
+
+        Returns the writer and the *pre-truncation* scan: its
+        ``records`` are the valid prefix, and ``torn`` stays True when
+        a tail was dropped — the signal recovery turns into a typed
+        ``torn_tail`` finding.
+        """
+        result = scan(path)
+        if result.torn:
+            truncate_torn_tail(path, result.valid_bytes)
+        return cls(path), result
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def append(self, rtype: int, payload: bytes) -> int:
+        """Durably append one record; returns its sequence number.
+
+        This is the **only** sanctioned write path (lint rule FHC012):
+        the framed record is written, flushed, and ``os.fsync``'d before
+        the call returns.  When a seeded ``wal_mid_record`` crash spec
+        is installed (:mod:`repro.fault.crash`), only a prefix of the
+        record's bytes is flushed and the process is SIGKILLed — the
+        torn write the recovery scanner must detect.
+        """
+        seq = self._seq
+        blob = _HEADER.pack(len(payload), _crc(seq, rtype, payload),
+                            seq, rtype) + payload
+        tear = pending_tear()
+        if tear is not None:
+            # Torn write: flush a strict prefix durably, then die.
+            cut = min(max(int(len(blob) * tear.tear_fraction), 1),
+                      len(blob) - 1)
+            self._fh.write(blob[:cut])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            tear.kill()  # SIGKILL; never returns
+        self._fh.write(blob)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._seq += 1
+        self.appended += 1
+        return seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TornLogError(RuntimeError):
+    """Appending to a log whose tail has not been truncated."""
+
+
+def scan(path: str | Path) -> ScanResult:
+    """Read every verifiable record; stop at the first bad one.
+
+    Never raises on malformed content — a torn tail is an expected
+    crash artifact, reported through :attr:`ScanResult.torn` so the
+    recovery path can classify it as a typed finding.
+    """
+    path = Path(path)
+    if not path.exists():
+        return ScanResult([], 0, 0)
+    blob = path.read_bytes()
+    records: list[Record] = []
+    offset = 0
+    expect_seq = 0
+    while offset + _HEADER.size <= len(blob):
+        length, crc, seq, rtype = _HEADER.unpack_from(blob, offset)
+        end = offset + _HEADER.size + length
+        if length > _MAX_PAYLOAD or end > len(blob):
+            break  # torn: header or payload ran off the file
+        payload = blob[offset + _HEADER.size:end]
+        if seq != expect_seq or _crc(seq, rtype, payload) != crc:
+            break  # torn or corrupt: CRC/sequence check failed
+        records.append(Record(seq, rtype, payload))
+        offset = end
+        expect_seq += 1
+    return ScanResult(records, offset, len(blob))
+
+
+def truncate_torn_tail(path: str | Path, valid_bytes: int) -> None:
+    """Physically drop a torn tail (fsync'd), leaving the valid prefix."""
+    with open(path, "r+b") as fh:
+        fh.truncate(valid_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -106,10 +106,17 @@ class ServeEngine:
     """Multi-tenant async scheduler over one executor."""
 
     def __init__(self, executor: Any, config: ServeConfig | None = None,
-                 chaos: ChaosInjector | None = None):
+                 chaos: ChaosInjector | None = None,
+                 journal: Any = None):
         self.executor = executor
         self.config = ServeConfig() if config is None else config
         self.chaos = chaos
+        #: Optional :class:`repro.recover.journal.RequestJournal`: when
+        #: set, every admitted request is durably journaled before it
+        #: queues and its resolution recorded before submit returns, so
+        #: a restarted engine can re-enqueue the admitted-but-unanswered
+        #: set (:meth:`resume_pending`).
+        self._journal = journal
         self.clock = time.monotonic
         self.admission = AdmissionController(
             self.config.queue_limit,
@@ -137,6 +144,7 @@ class ServeEngine:
             "rejected_rate": 0, "rejected_capacity": 0, "timeout": 0,
             "error": 0, "retries": 0, "integrity_failures": 0,
             "attempt_timeouts": 0, "watchdog_fires": 0, "degrade_steps": 0,
+            "shutdown_resolved": 0, "journal_replayed": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -148,14 +156,55 @@ class ServeEngine:
         self._workers = [loop.create_task(self._worker_loop(i))
                          for i in range(self.config.workers)]
 
-    async def close(self) -> None:
-        """Drain: stop admitting, let queued work finish, stop workers."""
+    async def close(self, drain: bool = True) -> None:
+        """Stop admitting and stop workers — resolving **every**
+        outstanding ticket with a typed result, never hanging a caller.
+
+        ``drain=True`` (default) lets already-queued work finish before
+        the workers exit; ``drain=False`` resolves queued-but-unstarted
+        tickets immediately as typed shutdown errors (in-flight ops
+        still run to completion).  Either way a final sweep resolves
+        tickets that raced admission — a ``submit`` that passed
+        ``_admit`` just before ``_closed`` was set enqueues *behind*
+        the worker stop sentinels, and without the sweep its future
+        would only resolve when the caller's watchdog fired.
+        """
         self._closed = True
+        if not drain:
+            self._sweep_queue()
         for _ in self._workers:
             self._queue.put_nowait(None)
         for task in self._workers:
             await task
         self._workers = []
+        self._sweep_queue()
+
+    def _sweep_queue(self) -> None:
+        """Resolve every ticket still in the queue with a typed
+        shutdown result (the close-time counterpart of the watchdog)."""
+        leftover: list[_Ticket | None] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            leftover.append(item)
+        for item in leftover:
+            if item is None:
+                # Preserve unconsumed worker stop sentinels.
+                self._queue.put_nowait(item)
+                continue
+            self._depth = max(0, self._depth - 1)
+            if item.future.done():
+                continue
+            self.counters["shutdown_resolved"] += 1
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.count("serve.shutdown_resolved")
+            item.future.set_result(ServeResult(
+                item.request.request_id, item.request.tenant,
+                item.request.op, STATUS_ERROR,
+                error=EngineClosedError.__name__))
 
     async def __aenter__(self) -> "ServeEngine":
         await self.start()
@@ -223,6 +272,14 @@ class ServeEngine:
             self.counters["resolved"] += 1
             rejection.latency = self.clock() - submitted_at
             return rejection
+        if self._journal is not None:
+            # Durable point: once this record is on disk, a crash
+            # between here and resolution leaves the request in the
+            # journal's pending set for resume_pending().
+            self._journal.record_submit(
+                request.request_id, tenant=request.tenant, op=request.op,
+                timeout_s=max(request.deadline.remaining(), 0.0),
+                payload=request.payload)
         loop = asyncio.get_running_loop()
         future: asyncio.Future[ServeResult] = loop.create_future()
         plan = (self.chaos.plan_for(request.request_id)
@@ -250,8 +307,33 @@ class ServeEngine:
                                  error="WatchdogTimeout")
             self.counters["timeout"] += 1
         self.counters["resolved"] += 1
+        if self._journal is not None:
+            self._journal.record_resolve(request.request_id, result.status)
         result.latency = self.clock() - submitted_at
         return result
+
+    async def resume_pending(self) -> list[ServeResult]:
+        """Re-submit every journaled request that was admitted but never
+        resolved (the restart half of the request journal).
+
+        Each pending request is re-enqueued with a fresh deadline of
+        its original budget; results resolve through the normal path
+        (and are journaled as resolved, emptying the pending set).
+        """
+        if self._journal is None:
+            return []
+        results = []
+        for entry in self._journal.pending():
+            self.counters["journal_replayed"] += 1
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.count("serve.journal_replayed")
+            request = ServeRequest(
+                entry["id"], entry["tenant"], entry["op"],
+                Deadline.after(entry["timeout_s"]),
+                payload=entry.get("payload", 0))
+            results.append(await self.submit(request))
+        return results
 
     # -- worker loop -------------------------------------------------------
 

@@ -461,3 +461,64 @@ class TestDriver:
 
         root = __import__("pathlib").Path(repro.__file__).parent
         assert lint_paths([root]) == []
+
+
+class TestFHC012RecoverDurability:
+    RECOVER = "src/repro/recover/wal.py"
+
+    def _recover_rules(self, source: str) -> list[str]:
+        import textwrap
+
+        from repro.analysis.lint import lint_source
+
+        return [f.rule for f in
+                lint_source(textwrap.dedent(source),
+                            filename=self.RECOVER)]
+
+    def test_flags_bare_write(self):
+        assert "FHC012" in self._recover_rules("""
+            def append(fh, blob):
+                fh.write(blob)
+                fh.flush()
+            """)
+
+    def test_fsync_evidence_sanctions_the_write(self):
+        assert self._recover_rules("""
+            def append(fh, blob):
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            """) == []
+
+    def test_fsync_helper_name_counts_as_evidence(self):
+        assert self._recover_rules("""
+            def append(fh, blob, fsync_fn):
+                fh.write(blob)
+                fsync_fn(fh)
+            """) == []
+
+    def test_rule_scoped_to_recover_package(self):
+        import textwrap
+
+        from repro.analysis.lint import lint_source
+
+        source = textwrap.dedent("""
+            def append(fh, blob):
+                fh.write(blob)
+            """)
+        assert lint_source(source,
+                           filename="src/repro/fhe/other.py") == []
+
+    def test_every_write_in_the_function_flagged(self):
+        rules = self._recover_rules("""
+            def append_two(fh, a, b):
+                fh.write(a)
+                fh.write(b)
+            """)
+        assert rules == ["FHC012", "FHC012"]
+
+    def test_suppression_comment_applies(self):
+        assert self._recover_rules("""
+            def append(fh, blob):
+                fh.write(blob)  # fhecheck: ok=FHC012
+            """) == []

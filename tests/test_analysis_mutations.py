@@ -112,3 +112,34 @@ class TestDroppedRescaleMutation:
                                 label="dropped rescale")
         assert [f.rule for f in report.findings] == ["C002"]
         assert "rescale" in report.findings.findings[0].message
+
+
+class TestDroppedFsyncMutation:
+    """Durability bug: the WAL append path loses its fsync — the exact
+    write a kill-campaign crash would tear silently."""
+
+    def _wal_source(self) -> str:
+        from pathlib import Path
+
+        import repro.recover.wal as wal
+
+        return Path(wal.__file__).read_text(encoding="utf-8")
+
+    def test_shipped_wal_is_clean(self):
+        from repro.analysis.lint import lint_source
+
+        findings = lint_source(self._wal_source(),
+                               filename="src/repro/recover/wal.py")
+        assert [f.rule for f in findings] == []
+
+    def test_dropped_fsync_yields_only_fhc012(self):
+        from repro.analysis.lint import lint_source
+
+        mutated = self._wal_source().replace(
+            "os.fsync(self._fh.fileno())\n", "\n")
+        assert mutated != self._wal_source()  # the mutation landed
+        findings = lint_source(mutated,
+                               filename="src/repro/recover/wal.py")
+        assert set(f.rule for f in findings) == {"FHC012"}
+        # Both write sites in append() lose their durability evidence.
+        assert [f.rule for f in findings].count("FHC012") >= 1

@@ -1,0 +1,150 @@
+"""WAL framing and journal-record tests: append durability, torn-tail
+detection and truncation, CRC/sequence verification, and the serve
+request ledger."""
+
+import struct
+
+import pytest
+
+from repro.recover.journal import (RT_BEGIN, RT_OP_DONE, RT_SERVE_RESOLVE,
+                                   RT_SERVE_SUBMIT, JournalError,
+                                   RequestJournal, decode, encode)
+from repro.recover.wal import (Record, TornLogError, WriteAheadLog, scan,
+                               truncate_torn_tail)
+
+_HEADER = struct.Struct("<IIQB")
+
+
+class TestAppendAndScan:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with WriteAheadLog(path) as wal:
+            for index in range(5):
+                assert wal.append(RT_OP_DONE,
+                                  b"payload-%d" % index) == index
+        result = scan(path)
+        assert not result.torn
+        assert [r.payload for r in result.records] == [
+            b"payload-%d" % i for i in range(5)]
+        assert [r.seq for r in result.records] == list(range(5))
+
+    def test_empty_and_missing(self, tmp_path):
+        assert scan(tmp_path / "absent.wal").records == []
+        (tmp_path / "empty.wal").write_bytes(b"")
+        result = scan(tmp_path / "empty.wal")
+        assert result.records == [] and not result.torn
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_BEGIN, b"a")
+        with WriteAheadLog(path) as wal:
+            assert wal.next_seq == 1
+            assert wal.append(RT_OP_DONE, b"b") == 1
+        assert len(scan(path).records) == 2
+
+
+class TestTornTail:
+    def _whole(self, path, n=4):
+        with WriteAheadLog(path) as wal:
+            for index in range(n):
+                wal.append(RT_OP_DONE, b"rec-%d" % index)
+
+    def test_half_written_record_detected(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path)
+        whole = path.read_bytes()
+        path.write_bytes(whole + whole[:_HEADER.size + 2])  # torn tail
+        result = scan(path)
+        assert result.torn
+        assert len(result.records) == 4
+        assert result.valid_bytes == len(whole)
+
+    def test_bit_flip_truncates_from_corruption(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path)
+        blob = bytearray(path.read_bytes())
+        blob[_HEADER.size + 1] ^= 0x40  # corrupt record 0's payload
+        path.write_bytes(bytes(blob))
+        result = scan(path)
+        assert result.torn and result.records == []
+
+    def test_truncate_then_append(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path)
+        path.write_bytes(path.read_bytes() + b"\x99" * 7)
+        result = scan(path)
+        truncate_torn_tail(path, result.valid_bytes)
+        clean = scan(path)
+        assert not clean.torn and len(clean.records) == 4
+        with WriteAheadLog(path) as wal:
+            wal.append(RT_OP_DONE, b"rec-4")
+        assert len(scan(path).records) == 5
+
+    def test_open_clean_reports_pre_truncation_state(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path)
+        path.write_bytes(path.read_bytes() + b"\x07" * 3)
+        wal, result = WriteAheadLog.open_clean(path)
+        wal.close()
+        assert result.torn  # the signal recovery turns into a finding
+        assert len(result.records) == 4
+        assert not scan(path).torn  # but the file itself is now clean
+
+    def test_plain_open_refuses_torn_file(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path)
+        path.write_bytes(path.read_bytes() + b"\x07" * 3)
+        with pytest.raises(TornLogError):
+            WriteAheadLog(path)
+
+    def test_absurd_length_field_is_torn_not_oom(self, tmp_path):
+        path = tmp_path / "j.wal"
+        self._whole(path, n=1)
+        path.write_bytes(path.read_bytes()
+                         + _HEADER.pack(1 << 30, 0, 1, RT_OP_DONE))
+        result = scan(path)
+        assert result.torn and len(result.records) == 1
+
+
+class TestJournalCodec:
+    def test_roundtrip(self):
+        payload = {"index": 3, "digest": "ab" * 32}
+        record = Record(0, RT_OP_DONE, encode(payload))
+        assert decode(record) == payload
+
+    def test_bad_json_is_typed(self):
+        with pytest.raises(JournalError):
+            decode(Record(0, RT_OP_DONE, b"\xff\xfe"))
+        with pytest.raises(JournalError):
+            decode(Record(0, RT_OP_DONE, b"[1,2]"))
+
+
+class TestRequestJournal:
+    def test_pending_is_submits_minus_resolves(self, tmp_path):
+        journal = RequestJournal(tmp_path / "req.wal")
+        journal.record_submit(1, tenant="a", op="hmult", timeout_s=1.5)
+        journal.record_submit(2, tenant="b", op="hrot", timeout_s=0.25,
+                              payload=7)
+        journal.record_resolve(1, "ok")
+        journal.close()
+        pending = RequestJournal(tmp_path / "req.wal").pending()
+        assert len(pending) == 1
+        entry = pending[0]
+        assert entry["id"] == 2 and entry["tenant"] == "b"
+        assert entry["op"] == "hrot" and entry["payload"] == 7
+        assert entry["timeout_s"] == pytest.approx(0.25)
+
+    def test_pending_survives_torn_tail(self, tmp_path):
+        journal = RequestJournal(tmp_path / "req.wal")
+        journal.record_submit(1, tenant="a", op="hmult", timeout_s=1.0)
+        journal.record_submit(2, tenant="a", op="hmult", timeout_s=1.0)
+        journal.close()
+        path = tmp_path / "req.wal"
+        blob = path.read_bytes()
+        path.write_bytes(blob + blob[:9])  # torn submit
+        pending = RequestJournal(path).pending()
+        assert [entry["id"] for entry in pending] == [1, 2]
+
+    def test_record_types_distinct(self):
+        assert RT_SERVE_SUBMIT != RT_SERVE_RESOLVE

@@ -124,3 +124,111 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMultiSchemeSerialization:
+    """BFV/BGV archives round-trip with the scheme tag, across levels."""
+
+    @pytest.fixture(scope="class")
+    def bgv_ctx(self):
+        from repro.fhe.bgv import BgvContext, BgvParams
+        return BgvContext(BgvParams(n=256, levels=3,
+                                    plaintext_modulus=65537,
+                                    prime_bits=30), seed=99)
+
+    @pytest.fixture(scope="class")
+    def bfv_ctx(self):
+        from repro.fhe.bfv import BfvContext
+        from repro.fhe.bgv import BgvParams
+        return BfvContext(BgvParams(n=64, levels=2,
+                                    plaintext_modulus=257), seed=99)
+
+    def test_bgv_roundtrip(self, bgv_ctx, tmp_path):
+        values = np.arange(bgv_ctx.params.n) % bgv_ctx.t
+        ct = bgv_ctx.encrypt(values)
+        path = tmp_path / "bgv.npz"
+        save_ciphertext(ct, path)
+        loaded = load_ciphertext(path)
+        assert type(loaded).__name__ == "BgvCiphertext"
+        np.testing.assert_array_equal(bgv_ctx.decrypt(loaded), values)
+
+    def test_bgv_roundtrip_after_mod_switch(self, bgv_ctx, tmp_path):
+        values = np.arange(bgv_ctx.params.n) % bgv_ctx.t
+        ct = bgv_ctx.mod_switch(bgv_ctx.encrypt(values))
+        path = tmp_path / "bgv_lower.npz"
+        save_ciphertext(ct, path)
+        loaded = load_ciphertext(path)
+        assert loaded.level == ct.level
+        np.testing.assert_array_equal(bgv_ctx.decrypt(loaded), values)
+
+    def test_bfv_roundtrip(self, bfv_ctx, tmp_path):
+        values = np.arange(bfv_ctx.params.n) % bfv_ctx.t
+        ct = bfv_ctx.encrypt(values)
+        path = tmp_path / "bfv.npz"
+        save_ciphertext(ct, path)
+        loaded = load_ciphertext(path)
+        assert type(loaded).__name__ == "BfvCiphertext"
+        np.testing.assert_array_equal(bfv_ctx.decrypt(loaded), values)
+
+    def test_digests_distinguish_schemes(self, bgv_ctx, bfv_ctx):
+        from repro.fhe.serialize import ciphertext_digest
+        a = bgv_ctx.encrypt(np.zeros(bgv_ctx.params.n, dtype=np.int64))
+        b = bfv_ctx.encrypt(np.zeros(bfv_ctx.params.n, dtype=np.int64))
+        assert ciphertext_digest(a) != ciphertext_digest(b)
+
+
+class TestSerializationHardening:
+    """Typed errors on truncated, corrupted, or mismatched archives."""
+
+    def _saved(self, ctx, tmp_path):
+        z = np.random.default_rng(4).uniform(-1, 1, ctx.params.slots)
+        path = tmp_path / "ct.npz"
+        save_ciphertext(ctx.encrypt(z), path)
+        return path
+
+    def test_truncated_archive_typed(self, ctx, tmp_path):
+        from repro.fhe.serialize import SerializationError
+        path = self._saved(ctx, tmp_path)
+        path.write_bytes(path.read_bytes()[:60])
+        with pytest.raises(SerializationError):
+            load_ciphertext(path)
+
+    def test_digest_mismatch_detected(self, ctx, tmp_path):
+        from repro.fhe.serialize import SerializationError
+        path = self._saved(ctx, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        # Tamper with one residue word; keep the stored digest.
+        arrays["part0_residues"] = arrays["part0_residues"].copy()
+        arrays["part0_residues"][0, 0] ^= 1
+        np.savez(path, **arrays)
+        with pytest.raises(SerializationError, match="digest"):
+            load_ciphertext(path)
+
+    def test_missing_field_typed(self, ctx, tmp_path):
+        from repro.fhe.serialize import SerializationError
+        path = self._saved(ctx, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files
+                      if name != "part0_primes"}
+        np.savez(path, **arrays)
+        with pytest.raises(SerializationError):
+            load_ciphertext(path)
+
+    def test_residue_shape_mismatch_typed(self, ctx, tmp_path):
+        from repro.fhe.serialize import SerializationError
+        path = self._saved(ctx, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        # One residue row too few for the primes tuple.
+        arrays["part0_residues"] = arrays["part0_residues"][:-1]
+        np.savez(path, **arrays)
+        with pytest.raises(SerializationError):
+            load_ciphertext(path)
+
+    def test_not_a_zipfile_typed(self, tmp_path):
+        from repro.fhe.serialize import SerializationError
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an archive")
+        with pytest.raises(SerializationError):
+            load_ciphertext(path)

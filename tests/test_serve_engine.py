@@ -294,3 +294,143 @@ class TestCkksExecutor:
         for result, op in zip(results, OPS):
             assert np.allclose(result.value, executor.golden[op],
                                atol=1e-6)
+
+
+class TestCloseResolution:
+    """close() must resolve every outstanding ticket with a typed
+    result — queued-unstarted work, and tickets that raced admission —
+    never leaving a submit() hanging on the watchdog."""
+
+    def test_fast_close_resolves_queued_work_typed(self):
+        async def main():
+            config = ServeConfig(workers=1, watchdog_grace=30.0)
+            engine = ServeEngine(SleepExecutor(service=0.05),
+                                 config=config)
+            await engine.start()
+            tasks = [asyncio.create_task(
+                engine.submit(_request(i, timeout=60.0)))
+                for i in range(6)]
+            await asyncio.sleep(0.01)  # worker picks up the first
+            await engine.close(drain=False)
+            return await asyncio.gather(*tasks)
+
+        results = run(main())
+        statuses = [r.status for r in results]
+        # The in-flight request finishes; the queued rest resolve as
+        # typed shutdown errors without waiting out their deadlines.
+        assert STATUS_OK in statuses
+        shutdown = [r for r in results if r.status == STATUS_ERROR]
+        assert shutdown and all(
+            r.error == EngineClosedError.__name__ for r in shutdown)
+
+    def test_drain_close_finishes_queued_work(self):
+        async def main():
+            config = ServeConfig(workers=1)
+            engine = ServeEngine(SleepExecutor(service=0.002),
+                                 config=config)
+            await engine.start()
+            tasks = [asyncio.create_task(
+                engine.submit(_request(i, timeout=10.0)))
+                for i in range(4)]
+            await asyncio.sleep(0.001)
+            await engine.close()
+            return await asyncio.gather(*tasks)
+
+        results = run(main())
+        assert all(r.status == STATUS_OK for r in results)
+
+    def test_ticket_enqueued_behind_sentinels_still_resolves(self):
+        # The race close() defends against: a submit that passed
+        # admission before _closed was set enqueues its ticket behind
+        # the worker stop sentinels (here: no worker ever consumes it).
+        async def main():
+            engine = ServeEngine(SleepExecutor(),
+                                 config=ServeConfig(watchdog_grace=30.0))
+            # No start(): the queue has no consumers, like a ticket
+            # stranded behind every worker's stop sentinel.
+            task = asyncio.create_task(
+                engine.submit(_request(1, timeout=60.0)))
+            await asyncio.sleep(0.01)
+            await engine.close(drain=False)
+            return await asyncio.wait_for(task, timeout=1.0)
+
+        result = run(main())
+        assert result.status == STATUS_ERROR
+        assert result.error == EngineClosedError.__name__
+
+    def test_shutdown_resolution_counted(self):
+        async def main():
+            engine = ServeEngine(SleepExecutor(),
+                                 config=ServeConfig(watchdog_grace=30.0))
+            task = asyncio.create_task(
+                engine.submit(_request(1, timeout=60.0)))
+            await asyncio.sleep(0.01)
+            await engine.close(drain=False)
+            await task
+            return engine.stats()
+
+        stats = run(main())
+        assert stats["shutdown_resolved"] == 1
+
+
+class TestRequestJournal:
+    """The durable request ledger: admitted-but-unresolved requests are
+    re-enqueued by a restarted engine."""
+
+    def test_resolved_requests_leave_no_pending(self, tmp_path):
+        from repro.recover.journal import RequestJournal
+
+        async def main():
+            journal = RequestJournal(tmp_path / "req.wal")
+            async with ServeEngine(SleepExecutor(),
+                                   journal=journal) as engine:
+                await engine.submit(_request(1))
+                await engine.submit(_request(2))
+            journal.close()
+            return RequestJournal(tmp_path / "req.wal").pending()
+
+        assert run(main()) == []
+
+    def test_restart_reenqueues_unresolved(self, tmp_path):
+        from repro.recover.journal import RequestJournal
+
+        # A crashed engine's journal: request 7 admitted, never
+        # resolved (written directly — the crash left no resolve).
+        crashed = RequestJournal(tmp_path / "req.wal")
+        crashed.record_submit(7, tenant="t0", op="hmult", timeout_s=5.0,
+                              payload=3)
+        crashed.record_resolve(6, "ok")  # unrelated, already done
+        crashed.close()
+
+        async def main():
+            journal = RequestJournal(tmp_path / "req.wal")
+            async with ServeEngine(SleepExecutor(),
+                                   journal=journal) as engine:
+                replayed = await engine.resume_pending()
+                stats = engine.stats()
+            journal.close()
+            remaining = RequestJournal(tmp_path / "req.wal").pending()
+            return replayed, stats, remaining
+
+        replayed, stats, remaining = run(main())
+        assert len(replayed) == 1
+        assert replayed[0].request_id == 7
+        assert replayed[0].status == STATUS_OK
+        assert stats["journal_replayed"] == 1
+        assert remaining == []  # the replay was journaled as resolved
+
+    def test_rejected_requests_never_journaled(self, tmp_path):
+        from repro.recover.journal import RequestJournal
+
+        async def main():
+            journal = RequestJournal(tmp_path / "req.wal")
+            engine = ServeEngine(SleepExecutor(), journal=journal)
+            async with engine:
+                pass
+            result = await engine.submit(_request(1))  # closed: rejected
+            journal.close()
+            return result, RequestJournal(tmp_path / "req.wal").pending()
+
+        result, pending = run(main())
+        assert result.status == STATUS_ERROR
+        assert pending == []
