@@ -323,7 +323,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: n=1024 only, 2 repeats, no VPU")
+    parser.add_argument("--out", type=Path, default=OUT_PATH,
+                        help="artifact path (default BENCH_kernels.json at "
+                             "the repo root); the regression sentinel points "
+                             "this at a scratch file")
     args = parser.parse_args()
+    out_path = args.out
 
     repeats = 2 if args.quick else 9
     # Larger rings get the deeper limb chains a real modulus ladder
@@ -357,8 +362,8 @@ def main() -> None:
         print("[vpu] program cache ...")
         results["vpu_program_cache"] = bench_vpu_program_cache()
 
-    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\nwrote {OUT_PATH}")
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
     def _compiled_cols(r: dict) -> str:
         if "compiled_s" not in r:
             return ""

@@ -94,6 +94,19 @@ fast paths silently go wrong:
     ``append()``; raw writes are legal only inside functions that fsync
     what they wrote.
 
+``FHC013`` **context-free span creation in the serving/recovery
+    layers** — inside :mod:`repro.serve` and :mod:`repro.recover`, a
+    span created on the obs hook (``.begin(...)``, ``.span(...)``,
+    ``.record(...)``) in a function with no trace-context evidence
+    (``bind_trace``/``trace_scope``/``begin_request``/
+    ``current_trace_context``/``TraceContext``/``trace_ctx``).  These
+    layers run on interleaved asyncio tasks: a span begun without the
+    request's :class:`~repro.obs.context.TraceContext` bound lands on
+    whatever stack the worker last left, producing the mis-nested
+    retrospective traces request-scoped tracing replaced.  Create spans
+    through ``Observer.begin_request``/``end_request`` or under
+    ``bind_trace``/``trace_scope`` of the ticket's context.
+
 Suppression: append ``# fhecheck: ok`` (all rules) or
 ``# fhecheck: ok=FHC002`` (one rule) to the offending line — or to the
 line directly above it when the line is too long — ideally with a
@@ -148,6 +161,16 @@ _SERVE_WORK_RE = re.compile(
     r"|^to_thread$|^run_in_executor$|_batch$")
 #: The sanctioned deadline/cancellation wrappers (FHC011).
 _DEADLINE_WRAPPER = "with_deadline"
+#: Span-creating verbs on the obs hook (FHC013).  ``begin_request`` /
+#: ``end_request`` are the context-propagating API itself and exempt
+#: by name.
+_SPAN_CREATION_ATTRS = {"begin", "span", "record"}
+#: Trace-context evidence (FHC013): any of these names in the same
+#: function ties the span creation to the request-scoped context API.
+_TRACE_CONTEXT_EVIDENCE = {
+    "trace_scope", "bind_trace", "unbind_trace", "begin_request",
+    "end_request", "current_trace_context", "TraceContext", "trace_ctx",
+}
 
 
 def _dtype_name(node: ast.expr) -> str | None:
@@ -412,6 +435,7 @@ class _Linter(ast.NodeVisitor):
         self._check_sequence_entry(node)
         self._check_sram_staging(node)
         self._check_durable_writes(node)
+        self._check_span_context(node)
         self.generic_visit(node)
         self._fn_stack.pop()
 
@@ -706,6 +730,47 @@ class _Linter(ast.NodeVisitor):
                 "in this function — journal appends must go through the "
                 "fsync'd WriteAheadLog.append() API (a bare write can be "
                 "lost on the very crash the journal exists to survive)")
+
+    # -- FHC013: context-free span creation in serve/recover ---------------
+
+    def _check_span_context(self, fn: ast.AST) -> None:
+        """Inside ``repro/serve/`` and ``repro/recover/``, a span
+        created on the obs hook must show trace-context evidence in the
+        same function (a ``bind_trace``/``trace_scope``/
+        ``begin_request``/``current_trace_context``/``TraceContext``/
+        ``trace_ctx`` mention) — the request-scoped tracing contract:
+        spans in the async layers carry the request's trace or they
+        mis-nest on whatever stack the worker last touched."""
+        if not (self._serve_file or self._recover_file):
+            return
+        aliases = _collect_hook_aliases(fn, "obs_hook")
+        creations: list[tuple[ast.Call, str]] = []
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SPAN_CREATION_ATTRS
+                    and _mentions_hook(node.func.value, aliases,
+                                       "obs_hook")):
+                creations.append((node, node.func.attr))
+        if not creations:
+            return
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and \
+                    node.id in _TRACE_CONTEXT_EVIDENCE:
+                return
+            if isinstance(node, ast.Attribute) and \
+                    node.attr in _TRACE_CONTEXT_EVIDENCE:
+                return
+        for call, verb in creations:
+            self._flag(
+                "FHC013", call,
+                f"span created via .{verb}(...) in the serving/recovery "
+                f"layer with no trace-context evidence in this function "
+                f"— go through the context-propagating API "
+                f"(begin_request/end_request, or bind_trace/trace_scope "
+                f"of the ticket's TraceContext) so the span stitches "
+                f"into its request's trace instead of mis-nesting on a "
+                f"worker's stale stack")
 
     def _check_hook_call(self, node: ast.Call, aliases: set[str],
                          guarded: bool, rule: str, suffix: str,

@@ -73,6 +73,7 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "FHC010": "suppression comment no longer suppresses any finding",
     "FHC011": "backend work awaited outside the deadline wrapper in repro.serve",
     "FHC012": "non-durable file write in repro.recover (no fsync evidence)",
+    "FHC013": "span created off the trace-context API in serve/recover",
 }
 
 _PATH_LINE_RE = re.compile(r"^(?P<path>[^\s:]+\.py):(?P<line>\d+)$")

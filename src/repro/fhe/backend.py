@@ -557,13 +557,32 @@ class IntegrityBackend:
         while True:
             level = self.degrade_level
             work = self._stage_in(rows) if level == 0 else rows
+            obs = current_obs_hook()
+            if obs is not None and attempts:
+                # A replay re-run: spans inherit the ambient request
+                # trace (if any), so serve traces show the integrity
+                # layer's recovery work inside the request's attempt.
+                obs.begin("integrity.replay", cat="integrity", kind=kind,
+                          attempt=attempts, level=level)
             try:
                 out = self._run(kind, work, primes, galois_k, level)
             except ProgramQuarantinedError:
+                obs = current_obs_hook()
+                if obs is not None and attempts:
+                    obs.end(quarantined=True)
                 self._degrade()
                 continue
             obs = current_obs_hook()
-            if self._verify(kind, rows, out, primes, galois_k):
+            if obs is not None and attempts:
+                obs.end()
+            if obs is not None:
+                obs.begin("integrity.verify", cat="integrity", kind=kind,
+                          rows=int(rows.shape[0]), attempt=attempts)
+            verified = self._verify(kind, rows, out, primes, galois_k)
+            obs = current_obs_hook()
+            if obs is not None:
+                obs.end(ok=verified)
+            if verified:
                 if attempts:
                     self.corrected += 1
                     if obs is not None:
@@ -732,7 +751,9 @@ def clear_caches() -> None:
     With a live metrics registry the cache hit/miss/size gauges of both
     program caches are zeroed as well — a metrics snapshot taken after a
     reset must not report the dropped caches' stale counters, even when
-    the backend that published them is no longer the active one."""
+    the backend that published them is no longer the active one — and
+    the telemetry ring is dropped (its entries snapshot the zeroed
+    series, so windowed deltas across a reset would be nonsense)."""
     with _NTT_CACHE_LOCK:
         _NTT_CACHE.clear()
     get_batched_ntt.cache_clear()
@@ -746,6 +767,7 @@ def clear_caches() -> None:
     if obs is not None:
         obs.zero_gauges("backend.program_cache.")
         obs.zero_gauges("backend.compiled_plan_cache.")
+        obs.reset_telemetry()
 
 
 def set_backend(backend) -> None:

@@ -7,18 +7,25 @@ every exporter view at once::
     python -m repro.obs --workload hmult --trace OBS_trace.json
     python -m repro.obs --validate-trace OBS_trace.json
 
-Each profile runs the workload **twice** on fresh backends — once with
-observability off, once with the tracer installed — and exits non-zero
-unless the traced run is bit-identical in output and integer-identical
-in model cycles (the overhead-neutrality contract the instrumentation
-guards promise).  For fully phase-covered workloads it additionally
-requires the per-phase cycle attribution (decompose / NTT /
-inner-product / mod-down / ...) to sum exactly to the backend's
-reported total cycles.
+Each profile runs the workload **three times** on fresh backends — once
+with observability off, once with the tracer installed, and once with
+the tracer installed *inside a bound request trace context*
+(``begin_request``/``end_request``, the contextvar path the serving
+layer rides) — and exits non-zero unless both traced runs are
+bit-identical in output and integer-identical in model cycles (the
+overhead-neutrality contract the instrumentation guards promise).  For
+fully phase-covered workloads it additionally requires the per-phase
+cycle attribution (decompose / NTT / inner-product / mod-down / ...) to
+sum exactly to the backend's reported total cycles.
 
 Artifacts: a Chrome ``trace_event`` JSON (Perfetto-loadable), a metrics
 snapshot in the shared ``schema``/``bench``/``host`` envelope, and the
 attribution table on stdout.
+
+``python -m repro.obs --sentinel`` is the benchmark regression
+sentinel instead (:mod:`repro.obs.sentinel`): validate every committed
+``BENCH_*`` artifact, regenerate a quick working-tree candidate, and
+exit non-zero on regression.
 """
 
 from __future__ import annotations
@@ -192,15 +199,30 @@ _WORKLOADS = {cls.name: cls for cls in (
 # -- the profiler ------------------------------------------------------------
 
 
-def _run_pass(workload: _Workload, m: int, observer: Observer | None):
-    """One fresh-backend execution; returns (output, model cycles)."""
+def _run_pass(workload: _Workload, m: int, observer: Observer | None,
+              in_request: bool = False):
+    """One fresh-backend execution; returns (output, model cycles).
+
+    With ``in_request`` the run happens inside a bound request trace
+    context (``begin_request``/``end_request``) — the contextvar path
+    every serve-layer request takes — so neutrality is proven for the
+    stamped-span code path too, not just the bare tracer.
+    """
     from repro.fhe.backend import VpuBackend, use_backend
 
     backend = VpuBackend(m=m)
     previous = install_obs_hook(observer)
     try:
         with use_backend(backend):
-            if observer is not None:
+            if observer is not None and in_request:
+                handle = observer.begin_request(
+                    f"workload.{workload.name}", cat="workload",
+                    quick=workload.quick)
+                try:
+                    out = workload.run()
+                finally:
+                    observer.end_request(handle)
+            elif observer is not None:
                 with observer.span(f"workload.{workload.name}",
                                    cat="workload", quick=workload.quick):
                     out = workload.run()
@@ -221,8 +243,12 @@ def profile(workload: _Workload, m: int) -> dict:
     out_off, cycles_off = _run_pass(workload, m, None)
     observer = Observer()
     out_on, cycles_on = _run_pass(workload, m, observer)
+    ctx_observer = Observer()
+    out_ctx, cycles_ctx = _run_pass(workload, m, ctx_observer,
+                                    in_request=True)
 
-    bit_identical = workload.fingerprint(out_off) == workload.fingerprint(out_on)
+    fp_off = workload.fingerprint(out_off)
+    bit_identical = fp_off == workload.fingerprint(out_on)
     phases = cycle_attribution(observer.tracer)
     phase_sum = sum(row["cycles"] for name, row in phases.items()
                     if name != "(unattributed)")
@@ -230,6 +256,9 @@ def profile(workload: _Workload, m: int) -> dict:
     checks = {
         "bit_identical": bit_identical,
         "cycles_identical": cycles_on == cycles_off,
+        "bit_identical_in_trace_context":
+            fp_off == workload.fingerprint(out_ctx),
+        "cycles_identical_in_trace_context": cycles_ctx == cycles_off,
         "phase_sum_matches_total": phase_sum + unattributed == cycles_on,
     }
     if workload.phases_cover_total:
@@ -237,7 +266,8 @@ def profile(workload: _Workload, m: int) -> dict:
     return {
         "workload": workload.name,
         "observer": observer,
-        "cycles": {"off": cycles_off, "on": cycles_on},
+        "cycles": {"off": cycles_off, "on": cycles_on,
+                   "in_trace_context": cycles_ctx},
         "phases": phases,
         "phase_sum": phase_sum,
         "unattributed": unattributed,
@@ -273,6 +303,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate-envelope", metavar="PATH", default=None,
                         help="validate a BENCH_*/OBS_* artifact JSON "
                              "against the schema envelope and exit")
+    parser.add_argument("--sentinel", action="store_true",
+                        help="benchmark regression sentinel: validate the "
+                             "committed BENCH_* artifacts, regenerate quick "
+                             "candidates from the working tree, exit "
+                             "non-zero on regression")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="with --sentinel: baseline artifact for a "
+                             "full same-host comparison")
+    parser.add_argument("--candidate", metavar="PATH", action="append",
+                        default=None,
+                        help="with --sentinel --baseline: candidate "
+                             "artifact(s); repeat for best-of-group")
+    parser.add_argument("--report", metavar="PATH",
+                        default="SENTINEL_report.json",
+                        help="sentinel report path "
+                             "(default SENTINEL_report.json)")
+    parser.add_argument("--no-regen", action="store_true",
+                        help="with --sentinel: skip the working-tree "
+                             "regeneration, validate envelopes only")
     return parser
 
 
@@ -302,8 +351,42 @@ def _validate_envelope(path: str) -> int:
     return 0
 
 
+def _sentinel(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.export import host_envelope
+    from repro.obs.sentinel import compare_files, run_sentinel
+
+    if args.baseline is not None:
+        candidates = [Path(p) for p in (args.candidate or [])]
+        if not candidates:
+            print("--baseline needs at least one --candidate")
+            return 2
+        checks = compare_files(Path(args.baseline), candidates)
+        failed = [c for c in checks if not c.ok]
+        for check in checks:
+            mark = "PASS" if check.ok else "FAIL"
+            print(f"{mark} {check.path} [{check.cls}]: {check.detail}")
+        report = host_envelope("sentinel")
+        report["ok"] = not failed
+        report["artifacts"] = [{
+            "file": str(args.baseline), "bench": "full-compare",
+            "ok": not failed, "checks": [c.to_json() for c in checks],
+        }]
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.report}")
+        print("PASS" if not failed else f"FAIL ({len(failed)} regressions)")
+        return 0 if not failed else 1
+    result = run_sentinel(Path.cwd(), regen=not args.no_regen,
+                          report_path=Path(args.report))
+    print("PASS" if result.ok else "FAIL")
+    return 0 if result.ok else 1
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sentinel:
+        return _sentinel(args)
     if args.validate_trace is not None:
         return _validate(args.validate_trace)
     if args.validate_envelope is not None:

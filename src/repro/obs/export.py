@@ -71,18 +71,29 @@ def validate_envelope(obj) -> list[str]:
 
 
 def to_chrome_trace(tracer: Tracer, process_name: str = "repro-model") -> dict:
-    """Serialize a span tree as Trace Event Format (Perfetto-loadable).
+    """Serialize a span forest as Trace Event Format (Perfetto-loadable).
 
     Every span becomes one complete (``ph: "X"``) event; still-open
     spans are closed first via :meth:`Tracer.unwind`.  Timestamps are
     microseconds from the tracer's epoch, durations are clamped to a
     minimum of 1 ns so zero-wall-time model events stay visible.
+
+    Request-scoped traces render as one lane per request: traced spans
+    use ``tid = trace_id`` (untraced spans stay on tid 1), carry their
+    ``trace_id``/``span_id``/``parent_id`` in ``args``, and every
+    cross-task stitch (a span whose causal parent lives in another
+    task's stack) emits a Perfetto flow-event pair (``ph: "s"`` at the
+    parent, ``ph: "f"`` at the child) so the request's arrow chain is
+    visible across lanes.
     """
     tracer.unwind()
     events: list[dict] = [{
         "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
         "args": {"name": process_name},
     }]
+    by_trace_span = {(s.trace_id, s.span_id): s for s in tracer.spans
+                     if s.trace_id and s.span_id}
+    flow_seq = 0
     for span in tracer.spans:
         args = dict(span.args)
         if span.cycles_self:
@@ -90,16 +101,35 @@ def to_chrome_trace(tracer: Tracer, process_name: str = "repro-model") -> dict:
         subtree = span.subtree_cycles()
         if subtree:
             args["cycles_subtree"] = subtree
+        tid = span.trace_id if span.trace_id else 1
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id:
+                args["parent_id"] = span.parent_id
+        ts = (span.start_ns - tracer.epoch_ns) / 1000.0
         events.append({
             "name": span.name,
             "cat": span.cat,
             "ph": "X",
-            "ts": (span.start_ns - tracer.epoch_ns) / 1000.0,
+            "ts": ts,
             "dur": max(span.duration_ns, 1) / 1000.0,
             "pid": 1,
-            "tid": 1,
+            "tid": tid,
             "args": args,
         })
+        # Cross-task stitch: causal parent known by id but not on this
+        # span's structural stack -> a flow arrow from parent to child.
+        if span.trace_id and span.parent_id and span.parent is None:
+            parent = by_trace_span.get((span.trace_id, span.parent_id))
+            if parent is not None:
+                flow_seq += 1
+                flow = {"cat": "flow", "name": f"trace.{span.trace_id}",
+                        "id": flow_seq, "pid": 1}
+                events.append(dict(
+                    flow, ph="s", tid=parent.trace_id or 1,
+                    ts=(parent.start_ns - tracer.epoch_ns) / 1000.0))
+                events.append(dict(flow, ph="f", bp="e", tid=tid, ts=ts))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -120,8 +150,10 @@ def validate_chrome_trace(obj) -> list[str]:
         if not isinstance(event.get("name"), str):
             problems.append(f"event {i} has no name")
         ph = event.get("ph")
-        if ph not in ("X", "M", "B", "E", "i", "C"):
+        if ph not in ("X", "M", "B", "E", "i", "C", "s", "t", "f"):
             problems.append(f"event {i} has unknown phase {ph!r}")
+        if ph in ("s", "t", "f") and "id" not in event:
+            problems.append(f"event {i} is a flow event with no id")
         if ph == "X":
             for key in ("ts", "dur"):
                 if not isinstance(event.get(key), (int, float)):

@@ -1,0 +1,161 @@
+"""Per-tenant SLO policies: error-budget burn rates and latency objectives.
+
+The serving engine publishes, per tenant, the cumulative counters
+``serve.tenant.<t>.requests`` / ``serve.tenant.<t>.bad`` and the
+latency sketch ``serve.tenant.<t>.latency_s`` (all through the guarded
+obs hook).  This module turns those into *actionable* signals:
+
+* **Error-budget burn rate** (the Google SRE multiwindow form).  A
+  policy grants an error budget — the allowed bad-request fraction,
+  e.g. 1%.  Over a window, ``burn = (bad/total) / budget``: burn 1.0
+  consumes the budget exactly at the sustainable rate; burn 14.4 eats a
+  30-day budget in 50 hours.  An alert fires only when **both** a long
+  window and its short confirmation window (1/12 the length) exceed
+  the threshold — the long window for significance, the short one so
+  recovered incidents stop alerting quickly.  Windowed counts come from
+  cumulative-counter deltas across the
+  :class:`~repro.obs.telemetry.SnapshotRing`, which is why the ring
+  exists.
+* **Latency objective**: the tenant's streaming quantile (from the
+  mergeable :class:`~repro.obs.metrics.LogHistogram` sketch) checked
+  against the policy's objective.
+
+Alerts are typed (:class:`SloAlert`) and consumable by the admission
+controller (:meth:`repro.serve.admission.AdmissionController
+.note_slo_alert`): a page-severity burn alert shrinks the tenant-facing
+queue capacity, shedding load *before* deadlines do it the expensive
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SnapshotRing
+
+__all__ = ["SloAlert", "SloEngine", "SloPolicy"]
+
+#: Default multiwindow ladder: (window seconds, burn threshold,
+#: severity).  The thresholds are the classic 30-day-budget table
+#: scaled to a serving session: fast burn pages, slow burn tickets.
+DEFAULT_WINDOWS: tuple[tuple[float, float, str], ...] = (
+    (60.0, 14.4, "page"),
+    (600.0, 6.0, "ticket"),
+)
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """One tenant's service-level objective."""
+
+    tenant: str
+    #: Latency objective: the ``quantile`` of the tenant's latency
+    #: sketch must stay at or below this many seconds.
+    latency_objective_s: float = 0.25
+    quantile: float = 0.95
+    #: Error budget: allowed fraction of bad (error/timeout) requests.
+    error_budget: float = 0.01
+    #: Burn-rate windows: (window_s, burn_threshold, severity).  Each
+    #: long window is confirmed by a short window of 1/12 its length.
+    windows: tuple[tuple[float, float, str], ...] = DEFAULT_WINDOWS
+
+    def metric(self, what: str) -> str:
+        return f"serve.tenant.{self.tenant}.{what}"
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One fired SLO signal (typed, consumable by admission control)."""
+
+    tenant: str
+    kind: str  # "burn_rate" | "latency"
+    severity: str  # "page" | "ticket"
+    window_s: float
+    value: float  # burn rate, or observed quantile seconds
+    threshold: float  # burn threshold, or the latency objective
+    detail: str = ""
+
+
+def _windowed_counts(ring: SnapshotRing, window_s: float,
+                     requests_key: str, bad_key: str) -> tuple[float, float]:
+    """(total, bad) deltas over the ring window; (0, 0) when the ring
+    cannot yet span a window."""
+    pair = ring.window(window_s)
+    if pair is None:
+        return 0.0, 0.0
+    oldest, newest = pair
+
+    def counter(entry: dict, key: str) -> float:
+        return entry["snapshot"]["counters"].get(key, 0)
+
+    total = counter(newest, requests_key) - counter(oldest, requests_key)
+    bad = counter(newest, bad_key) - counter(oldest, bad_key)
+    return max(0.0, total), max(0.0, bad)
+
+
+@dataclass
+class SloEngine:
+    """Evaluates a set of policies against live registry + ring state."""
+
+    policies: tuple[SloPolicy, ...] = ()
+    #: Minimum windowed request count before a burn alert may fire —
+    #: three bad requests out of five is noise, not an incident.
+    min_requests: int = 20
+    fired: list[SloAlert] = field(default_factory=list)
+
+    def evaluate(self, registry: MetricsRegistry,
+                 ring: SnapshotRing) -> list[SloAlert]:
+        """One evaluation sweep; returns (and accumulates) the alerts."""
+        alerts: list[SloAlert] = []
+        for policy in self.policies:
+            alerts.extend(self._burn_alerts(policy, ring))
+            alert = self._latency_alert(policy, registry)
+            if alert is not None:
+                alerts.append(alert)
+        self.fired.extend(alerts)
+        return alerts
+
+    def _burn_alerts(self, policy: SloPolicy,
+                     ring: SnapshotRing) -> list[SloAlert]:
+        requests_key = policy.metric("requests")
+        bad_key = policy.metric("bad")
+        alerts: list[SloAlert] = []
+        for window_s, threshold, severity in policy.windows:
+            total, bad = _windowed_counts(ring, window_s,
+                                          requests_key, bad_key)
+            if total < self.min_requests:
+                continue
+            burn = (bad / total) / policy.error_budget
+            if burn <= threshold:
+                continue
+            # Confirmation window (1/12 the long window): the alert
+            # clears as soon as the *recent* burn is back under the
+            # threshold, even while the long window is still polluted.
+            short_total, short_bad = _windowed_counts(
+                ring, window_s / 12.0, requests_key, bad_key)
+            if short_total >= 1:
+                short_burn = (short_bad / short_total) / policy.error_budget
+                if short_burn <= threshold:
+                    continue
+            alerts.append(SloAlert(
+                tenant=policy.tenant, kind="burn_rate", severity=severity,
+                window_s=window_s, value=burn, threshold=threshold,
+                detail=f"{bad:.0f}/{total:.0f} bad over {window_s:.0f}s "
+                       f"burns budget at {burn:.1f}x"))
+        return alerts
+
+    def _latency_alert(self, policy: SloPolicy,
+                       registry: MetricsRegistry) -> "SloAlert | None":
+        sketch = registry.sketch(policy.metric("latency_s"))
+        if sketch is None or sketch.count < self.min_requests:
+            return None
+        observed = sketch.quantile(policy.quantile)
+        if observed is None or observed <= policy.latency_objective_s:
+            return None
+        return SloAlert(
+            tenant=policy.tenant, kind="latency", severity="ticket",
+            window_s=0.0, value=observed,
+            threshold=policy.latency_objective_s,
+            detail=f"p{policy.quantile * 100:g} latency {observed:.4f}s "
+                   f"exceeds the {policy.latency_objective_s:.4f}s objective")

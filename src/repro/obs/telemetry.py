@@ -1,0 +1,149 @@
+"""Live telemetry: the snapshot ring buffer and Prometheus exposition.
+
+Two export surfaces over one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :class:`SnapshotRing` — a bounded ring of periodic registry
+  snapshots.  Counters are cumulative, so the delta between any two
+  ring entries is an exact windowed rate — which is precisely what the
+  SLO engine's multi-window burn-rate evaluation
+  (:mod:`repro.obs.slo`) consumes.  The ring is fed from the serving
+  hot path through the guarded obs hook (``Observer.tick_ring``), so
+  with observability disabled it costs nothing and holds nothing.
+* :func:`prometheus_text` — the text exposition format (version
+  0.0.4): counters as ``*_total``, gauges verbatim, and the quantile
+  sketches as Prometheus summaries (``{quantile="..."}``, ``_sum``,
+  ``_count``).  Write it to a file or serve it from any HTTP handler;
+  nothing here binds a socket.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SnapshotRing", "prometheus_text"]
+
+
+class SnapshotRing:
+    """Bounded ring of timestamped registry snapshots.
+
+    ``record`` appends unconditionally; ``tick`` rate-limits to one
+    snapshot per ``period_s`` (the serving engine calls it per resolved
+    request, the ring turns that into a periodic sampler).  Entries are
+    plain dicts ``{"seq", "t", "snapshot"}`` with a monotonic sequence
+    number, monotonic-clock seconds, and the registry's
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+    """
+
+    def __init__(self, capacity: int = 64, period_s: float = 1.0,
+                 clock=time.monotonic):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2 (windows need a delta)")
+        self.capacity = capacity
+        self.period_s = period_s
+        self._clock = clock
+        self.entries: list[dict] = []
+        self._seq = 0
+        self._last_t: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def record(self, registry: MetricsRegistry,
+               t: float | None = None) -> dict:
+        """Append one snapshot (evicting the oldest past capacity)."""
+        t = self._clock() if t is None else t
+        entry = {"seq": self._seq, "t": t, "snapshot": registry.snapshot()}
+        self._seq += 1
+        self._last_t = t
+        self.entries.append(entry)
+        if len(self.entries) > self.capacity:
+            del self.entries[0]
+        return entry
+
+    def tick(self, registry: MetricsRegistry,
+             t: float | None = None) -> "dict | None":
+        """Record iff at least ``period_s`` elapsed since the last
+        snapshot; returns the entry or None."""
+        t = self._clock() if t is None else t
+        if self._last_t is not None and t - self._last_t < self.period_s:
+            return None
+        return self.record(registry, t)
+
+    def window(self, window_s: float,
+               now: float | None = None) -> "tuple[dict, dict] | None":
+        """The (oldest-within-window, newest) entry pair spanning up to
+        ``window_s`` seconds back from ``now``; None when fewer than two
+        entries exist.  Counter deltas between the pair are the exact
+        windowed totals the burn-rate math needs."""
+        if len(self.entries) < 2:
+            return None
+        newest = self.entries[-1]
+        now = newest["t"] if now is None else now
+        oldest = newest
+        for entry in self.entries:
+            if now - entry["t"] <= window_s:
+                oldest = entry
+                break
+        if oldest is newest:
+            oldest = self.entries[-2]
+        return oldest, newest
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._last_t = None
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    base = "".join(out)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"repro_{base}{suffix}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN never stored
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry,
+                    quantiles: Iterable[float] = (0.5, 0.9, 0.99)) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total`` (dots to underscores),
+    gauges ``repro_<name>``, and each quantile sketch a summary:
+    ``repro_<name>{quantile="0.5"}`` lines plus ``_sum``/``_count``.
+    Output is deterministic (sorted series) and ends with a newline.
+    """
+    lines: list[str] = []
+    for name in sorted(registry.counters):
+        prom = _prom_name(name, "_total")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(registry.counters[name])}")
+    for name in sorted(registry.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(registry.gauges[name])}")
+    for name in sorted(registry.sketches):
+        sketch = registry.sketches[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for q in quantiles:
+            value = sketch.quantile(q)
+            if value is None:
+                continue
+            lines.append(f'{prom}{{quantile="{q:g}"}} {_fmt(value)}')
+        lines.append(f"{prom}_sum {_fmt(sketch.total)}")
+        lines.append(f"{prom}_count {_fmt(sketch.count)}")
+    return "\n".join(lines) + "\n"

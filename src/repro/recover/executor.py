@@ -42,7 +42,7 @@ from repro.analysis.ctstate import (CtState, CtStateError, Op,
                                     check_sequence, execute_op)
 from repro.fault.crash import SITE_OP_BOUNDARY, crash_point
 from repro.fhe.serialize import ciphertext_digest
-from repro.obs import current_obs_hook
+from repro.obs import current_obs_hook, current_trace_context
 from repro.recover import checkpoint as ckpt
 from repro.recover.journal import (RT_BEGIN, RT_CHECKPOINT, RT_COMMIT,
                                    RT_OP_DONE, JournalError, decode, encode)
@@ -205,7 +205,12 @@ class DurableExecutor:
         """
         obs = current_obs_hook()
         if obs is not None:
-            obs.begin("recover.resume", "recover")
+            # Stamp the ambient request trace (0 = standalone recovery)
+            # so a resume triggered on behalf of a serving request shows
+            # up inside that request's stitched trace.
+            ctx = current_trace_context()
+            obs.begin("recover.resume", "recover",
+                      trace=0 if ctx is None else ctx.trace_id)
             obs.count("recover.resumes")
         try:
             return self._resume_inner()
@@ -310,7 +315,9 @@ class DurableExecutor:
                 next(feed)  # consumed by the journaled prefix
         obs = current_obs_hook()
         if obs is not None and start > 0:
-            obs.begin("recover.replay", "recover", start=start)
+            ctx = current_trace_context()
+            obs.begin("recover.replay", "recover", start=start,
+                      trace=0 if ctx is None else ctx.trace_id)
         for index in range(start, len(self.ops)):
             crash_point(SITE_OP_BOUNDARY)
             op = self.ops[index]
@@ -348,7 +355,9 @@ class DurableExecutor:
                          states: Sequence["CtState | None"]) -> None:
         obs = current_obs_hook()
         if obs is not None:
-            obs.begin("recover.checkpoint", "recover", boundary=boundary)
+            ctx = current_trace_context()
+            obs.begin("recover.checkpoint", "recover", boundary=boundary,
+                      trace=0 if ctx is None else ctx.trace_id)
             obs.count("recover.checkpoints")
         live = ckpt.live_set(self.ops, boundary)
         entries = ckpt.write_archives(self.directory, boundary, values,

@@ -33,6 +33,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import current_obs_hook, current_trace_context
 from repro.recover.wal import Record, WriteAheadLog
 
 __all__ = [
@@ -107,19 +108,35 @@ class RequestJournal:
 
     def record_submit(self, request_id: int, *, tenant: str, op: str,
                       timeout_s: float, payload: int = 0) -> None:
-        self._log().append(RT_SERVE_SUBMIT, encode({
+        entry = {
             "id": request_id,
             "tenant": tenant,
             "op": op,
             "timeout_us": int(timeout_s * 1_000_000),
             "payload": payload,
-        }))
+        }
+        obs = current_obs_hook()
+        if obs is not None:
+            # Stamp the request's trace id into the durable record (and
+            # count the append) so a post-crash inspection of the WAL
+            # links each admitted request back to its distributed trace.
+            # With observability off the journal bytes are exactly the
+            # pre-tracing encoding — no key, no id minting.
+            ctx = current_trace_context()
+            if ctx is not None:
+                entry["trace"] = ctx.trace_id
+            obs.count("recover.journal.submits")
+        self._log().append(RT_SERVE_SUBMIT, encode(entry))
 
     def record_resolve(self, request_id: int, status: str) -> None:
-        self._log().append(RT_SERVE_RESOLVE, encode({
-            "id": request_id,
-            "status": status,
-        }))
+        entry = {"id": request_id, "status": status}
+        obs = current_obs_hook()
+        if obs is not None:
+            ctx = current_trace_context()
+            if ctx is not None:
+                entry["trace"] = ctx.trace_id
+            obs.count("recover.journal.resolves")
+        self._log().append(RT_SERVE_RESOLVE, encode(entry))
 
     def pending(self) -> list[dict]:
         """Replay the ledger: submits with no matching resolve, in

@@ -34,7 +34,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.obs import current_obs_hook
+from repro.obs import check_span_tree, current_obs_hook, per_trace_cycles
 
 __all__ = [
     "ChaosInjector",
@@ -211,7 +211,11 @@ def run_chaos_campaign(requests: int = 900, seed: int = 0,
     * any resolution outside the typed status set, or a failure status
       with no typed ``error``;
     * p99 latency beyond ``deadline + watchdog grace`` (unbounded tail);
-    * fewer realized injections than ``min_injections``.
+    * fewer realized injections than ``min_injections``;
+    * with an observer installed: any span-tree malformation (orphan
+      stitches, cross-trace nesting, missing/duplicate roots) and any
+      mismatch between per-trace cycle sums and the registry's
+      ``serve.model_cycles`` counter.
     """
     import asyncio
 
@@ -295,6 +299,24 @@ def run_chaos_campaign(requests: int = 900, seed: int = 0,
             f"requires >= {min_injections}")
     obs = current_obs_hook()
     if obs is not None:
+        # Trace well-formedness is part of the chaos contract: after
+        # the engine quiesces no span may be left open, every request's
+        # spans must form one stitched tree under its root, and cycles
+        # summed per trace must reconcile with the registry's counter
+        # (retries, degrades, and watchdog races included).
+        dangling = obs.tracer.unwind()
+        if dangling:
+            outcome.violations.append(
+                f"{dangling} spans left open after the campaign quiesced")
+        for problem in check_span_tree(obs.tracer):
+            outcome.violations.append(f"span-tree: {problem}")
+        traced = sum(cycles for trace_id, cycles
+                     in per_trace_cycles(obs.tracer).items() if trace_id)
+        counted = int(obs.metrics.counters.get("serve.model_cycles", 0))
+        if traced != counted:
+            outcome.violations.append(
+                f"per-trace cycle sum {traced} != serve.model_cycles "
+                f"counter {counted} (attribution leak)")
         obs.gauge("serve.chaos.p99_latency", round(outcome.p99_latency, 6))
         obs.count("serve.chaos.campaign_violations",
                   len(outcome.violations))

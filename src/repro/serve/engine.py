@@ -26,10 +26,19 @@ The request path, in order:
 4. **Resolution** — a typed :class:`~repro.serve.requests.ServeResult`;
    exceptions never escape ``submit``.
 
-Phase attribution (queue / dispatch / compute / verify) is emitted
-through the guarded obs hook as retrospective spans plus histograms, so
+Every request is one trace: ``submit`` opens a ``serve.request`` root
+span via the context-propagating API (``Observer.begin_request``), the
+minted :class:`~repro.obs.context.TraceContext` rides the ticket
+across the queue, and the worker re-enters it with
+:func:`~repro.obs.context.trace_scope` — so the queue wait, every
+attempt (including retries and degrade steps), the backend kernels the
+executor dispatches, and any journal records all carry the same
+``trace_id`` and stitch under the root even though they run on
+interleaved tasks.  Phase durations (queue / dispatch / compute /
+verify) are *live* spans with real wall extents plus histograms, so
 ``python -m repro.obs`` renders serving runs the same way it renders
-kernel runs.
+kernel runs.  All of it sits behind the guarded obs hook: with
+observability off, no context is minted and no span exists.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.obs import current_obs_hook
+from repro.obs.context import TraceContext, bind_trace, unbind_trace
 from repro.serve.admission import AdmissionController
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.chaos import ChaosInjector, ChaosPlan
@@ -100,6 +110,10 @@ class _Ticket:
     future: "asyncio.Future[ServeResult]"
     queued_at: float
     plan: ChaosPlan = field(default_factory=ChaosPlan)
+    #: The request's trace context, carried across the queue boundary
+    #: (workers never share the submitter's contextvars); None when
+    #: observability is off — no ids are minted, nothing is carried.
+    trace_ctx: TraceContext | None = None
 
 
 class ServeEngine:
@@ -264,13 +278,39 @@ class ServeEngine:
     # -- submission --------------------------------------------------------
 
     async def submit(self, request: ServeRequest) -> ServeResult:
-        """Resolve one request; always returns, never raises."""
+        """Resolve one request; always returns, never raises.
+
+        This is the trace boundary: one ``submit`` is one trace.  The
+        root ``serve.request`` span opens *before* admission (so even
+        rejections are traced) and closes with the final status; the
+        minted context rides the ticket so the worker's spans stitch
+        under this root.
+        """
+        obs = current_obs_hook()
+        if obs is not None:
+            handle = obs.begin_request(
+                "serve.request", cat="serve", request=request.request_id,
+                tenant=request.tenant, op=request.op)
+            status = "unresolved"
+            try:
+                result = await self._submit(request, handle.ctx)
+                status = result.status
+                return result
+            finally:
+                obs = current_obs_hook()
+                if obs is not None:
+                    obs.end_request(handle, status=status)
+        return await self._submit(request, None)
+
+    async def _submit(self, request: ServeRequest,
+                      trace_ctx: TraceContext | None) -> ServeResult:
         self.counters["submitted"] += 1
         submitted_at = self.clock()
         rejection = self._admit(request)
         if rejection is not None:
             self.counters["resolved"] += 1
             rejection.latency = self.clock() - submitted_at
+            self._note_tenant(request, rejection)
             return rejection
         if self._journal is not None:
             # Durable point: once this record is on disk, a crash
@@ -285,7 +325,9 @@ class ServeEngine:
         plan = (self.chaos.plan_for(request.request_id)
                 if self.chaos is not None else ChaosPlan())
         self._depth += 1
-        self._queue.put_nowait(_Ticket(request, future, submitted_at, plan))
+        self._queue.put_nowait(
+            _Ticket(request, future, submitted_at, plan,
+                    trace_ctx=trace_ctx))
         watchdog = Deadline(
             request.deadline.expires_at + self.config.watchdog_grace,
             request.deadline.clock)
@@ -310,7 +352,25 @@ class ServeEngine:
         if self._journal is not None:
             self._journal.record_resolve(request.request_id, result.status)
         result.latency = self.clock() - submitted_at
+        self._note_tenant(request, result)
         return result
+
+    def _note_tenant(self, request: ServeRequest,
+                     result: ServeResult) -> None:
+        """Per-tenant SLO series for one resolved request: cumulative
+        request/bad counters (burn-rate numerators ride counter deltas
+        across the snapshot ring) and the latency quantile sketch —
+        plus the ring tick that turns resolutions into periodic
+        samples.  Rejections count as requests but not as budget burn:
+        load shedding is the mitigation, not the incident."""
+        obs = current_obs_hook()
+        if obs is not None:
+            base = f"serve.tenant.{request.tenant}"
+            obs.count(f"{base}.requests")
+            if result.status in (STATUS_ERROR, STATUS_TIMEOUT):
+                obs.count(f"{base}.bad")
+            obs.observe_value(f"{base}.latency_s", result.latency)
+            obs.tick_ring()
 
     async def resume_pending(self) -> list[ServeResult]:
         """Re-submit every journaled request that was admitted but never
@@ -373,99 +433,141 @@ class ServeEngine:
         self.admission.observe_service(max(0.0, service))
         obs = current_obs_hook()
         if obs is not None:
+            # Spans are live now (begun under the request's trace
+            # context in _handle_attempts); only the histograms and
+            # counters are recorded at resolution time.
             for phase in ("queue", "dispatch", "compute", "verify"):
-                ns = phases.get(phase, 0)
-                # Retrospective span: begin/end back-to-back (workers
-                # interleave, so live nesting would be wrong), with the
-                # measured duration riding in args and the histogram.
-                obs.begin(f"serve.{phase}", cat="serve",
-                          request=ticket.request.request_id, dur_ns=ns)
-                obs.end()
-                obs.observe_value(f"serve.phase.{phase}_ns", ns)
+                obs.observe_value(f"serve.phase.{phase}_ns",
+                                  phases.get(phase, 0))
             obs.count(f"serve.status.{result.status}")
             obs.observe_value("serve.attempts", result.attempts)
         return result
 
     async def _handle(self, ticket: _Ticket) -> ServeResult:
+        # Re-enter the request's trace on this worker task: the queue
+        # does not carry contextvars, the ticket does.  Everything
+        # below (and every backend span the executor opens) is stamped
+        # with the request's trace_id until the unbind — which must
+        # run on every exit, or the worker's next ticket would inherit
+        # a stale trace.
         request = ticket.request
         plan = ticket.plan
-        dispatch_start = self.clock()
-        phases = {"queue": int((dispatch_start - ticket.queued_at) * 1e9),
-                  "dispatch": 0, "compute": 0, "verify": 0}
-        if request.deadline.expired():
-            return self._finish(ticket, ServeResult(
-                request.request_id, request.tenant, request.op,
-                STATUS_TIMEOUT, error=DeadlineExceeded.__name__), phases)
-        if plan.delay:
-            # Chaos: delayed dispatch (never past the deadline).
-            await asyncio.sleep(min(plan.delay, request.deadline.remaining()))
-        attempts = 0
-        retries = 0
-        level = self._base_level()
-        while True:
-            attempts += 1
-            compute_start = self.clock()
-            phases["dispatch"] += int((compute_start - dispatch_start) * 1e9)
-            value: Any = None
-            verified = False
-            attempt_timed_out = False
-            try:
-                value = await with_deadline(
-                    self._run_attempt(request, level, attempts, plan),
-                    request.deadline.bounded(self.config.attempt_timeout))
-            except DeadlineExceeded:
-                attempt_timed_out = True
-                self.counters["attempt_timeouts"] += 1
-            verify_start = self.clock()
-            phases["compute"] += int((verify_start - compute_start) * 1e9)
-            if not attempt_timed_out:
-                verified = bool(self.executor.verify(request, value))
-                phases["verify"] += int((self.clock() - verify_start) * 1e9)
-            if verified:
-                if level in self.breakers:
-                    self.breakers[level].record_success()
-                status = STATUS_OK if level == 0 else STATUS_DEGRADED
-                return self._finish(ticket, ServeResult(
-                    request.request_id, request.tenant, request.op, status,
-                    level=level, attempts=attempts, retries=retries,
-                    value=value), phases)
-            # Attempt failed: integrity mismatch or a lost completion.
-            if not attempt_timed_out:
-                self.counters["integrity_failures"] += 1
-                obs = current_obs_hook()
-                if obs is not None:
-                    obs.count("serve.integrity_failures")
-            if level in self.breakers:
-                self.breakers[level].record_failure()
+        token = (bind_trace(ticket.trace_ctx)
+                 if ticket.trace_ctx is not None else None)
+        try:
+            dispatch_start = self.clock()
+            phases = {"queue": int((dispatch_start - ticket.queued_at) * 1e9),
+                      "dispatch": 0, "compute": 0, "verify": 0}
+            obs = current_obs_hook()
+            if obs is not None:
+                # The queue wait just ended: record it as an already-elapsed
+                # span ([dequeue - wait, dequeue]) stitched under the root.
+                obs.record("serve.queue", cat="serve", dur_ns=phases["queue"],
+                           request=request.request_id)
             if request.deadline.expired():
                 return self._finish(ticket, ServeResult(
                     request.request_id, request.tenant, request.op,
-                    STATUS_TIMEOUT, level=level, attempts=attempts,
-                    retries=retries,
-                    error=DeadlineExceeded.__name__), phases)
-            dispatch_start = self.clock()
-            may_retry = (attempts < self.config.max_attempts
-                         and self._budget(request.tenant).try_spend())
-            if may_retry:
-                retries += 1
-                self.counters["retries"] += 1
-                pause = self.retry_policy.delay(request.request_id, retries)
-                await asyncio.sleep(min(pause,
-                                        request.deadline.remaining()))
-                level = max(level, self._base_level())
-                continue
-            if level < _MAX_LEVEL:
-                # Budget or attempts exhausted at this level: degrade.
-                level += 1
-                self.counters["degrade_steps"] += 1
+                    STATUS_TIMEOUT, error=DeadlineExceeded.__name__), phases)
+            if plan.delay:
+                # Chaos: delayed dispatch (never past the deadline).
+                await asyncio.sleep(min(plan.delay, request.deadline.remaining()))
+            attempts = 0
+            retries = 0
+            level = self._base_level()
+            while True:
+                attempts += 1
+                dispatch_ns = int((self.clock() - dispatch_start) * 1e9)
+                phases["dispatch"] += dispatch_ns
                 obs = current_obs_hook()
                 if obs is not None:
-                    obs.count("serve.degrade_steps")
-                continue
-            return self._finish(ticket, ServeResult(
-                request.request_id, request.tenant, request.op,
-                STATUS_ERROR, level=level, attempts=attempts,
-                retries=retries, error="IntegrityExhausted"), phases)
+                    obs.record("serve.dispatch", cat="serve",
+                               dur_ns=dispatch_ns, attempt=attempts)
+                    # Live span: retries and degrade steps each get their
+                    # own serve.attempt, and the executor's backend spans
+                    # nest inside it structurally.
+                    obs.begin("serve.attempt", cat="serve",
+                              request=request.request_id, attempt=attempts,
+                              level=level)
+                compute_start = self.clock()
+                value: Any = None
+                verified = False
+                attempt_timed_out = False
+                try:
+                    try:
+                        value = await with_deadline(
+                            self._run_attempt(request, level, attempts, plan),
+                            request.deadline.bounded(self.config.attempt_timeout))
+                    except DeadlineExceeded:
+                        attempt_timed_out = True
+                        self.counters["attempt_timeouts"] += 1
+                    verify_start = self.clock()
+                    compute_ns = int((verify_start - compute_start) * 1e9)
+                    phases["compute"] += compute_ns
+                    obs = current_obs_hook()
+                    if obs is not None:
+                        obs.record("serve.compute", cat="serve",
+                                   dur_ns=compute_ns, level=level)
+                    if not attempt_timed_out:
+                        verified = bool(self.executor.verify(request, value))
+                        verify_ns = int((self.clock() - verify_start) * 1e9)
+                        phases["verify"] += verify_ns
+                        obs = current_obs_hook()
+                        if obs is not None:
+                            obs.record("serve.verify", cat="serve",
+                                       dur_ns=verify_ns, verified=verified)
+                finally:
+                    obs = current_obs_hook()
+                    if obs is not None:
+                        obs.end(verified=verified, timed_out=attempt_timed_out)
+                if verified:
+                    if level in self.breakers:
+                        self.breakers[level].record_success()
+                    status = STATUS_OK if level == 0 else STATUS_DEGRADED
+                    return self._finish(ticket, ServeResult(
+                        request.request_id, request.tenant, request.op, status,
+                        level=level, attempts=attempts, retries=retries,
+                        value=value), phases)
+                # Attempt failed: integrity mismatch or a lost completion.
+                if not attempt_timed_out:
+                    self.counters["integrity_failures"] += 1
+                    obs = current_obs_hook()
+                    if obs is not None:
+                        obs.count("serve.integrity_failures")
+                if level in self.breakers:
+                    self.breakers[level].record_failure()
+                if request.deadline.expired():
+                    return self._finish(ticket, ServeResult(
+                        request.request_id, request.tenant, request.op,
+                        STATUS_TIMEOUT, level=level, attempts=attempts,
+                        retries=retries,
+                        error=DeadlineExceeded.__name__), phases)
+                dispatch_start = self.clock()
+                may_retry = (attempts < self.config.max_attempts
+                             and self._budget(request.tenant).try_spend())
+                if may_retry:
+                    retries += 1
+                    self.counters["retries"] += 1
+                    pause = self.retry_policy.delay(request.request_id, retries)
+                    await asyncio.sleep(min(pause,
+                                            request.deadline.remaining()))
+                    level = max(level, self._base_level())
+                    continue
+                if level < _MAX_LEVEL:
+                    # Budget or attempts exhausted at this level: degrade.
+                    level += 1
+                    self.counters["degrade_steps"] += 1
+                    obs = current_obs_hook()
+                    if obs is not None:
+                        obs.count("serve.degrade_steps")
+                    continue
+                return self._finish(ticket, ServeResult(
+                    request.request_id, request.tenant, request.op,
+                    STATUS_ERROR, level=level, attempts=attempts,
+                    retries=retries, error="IntegrityExhausted"), phases)
+
+        finally:
+            if token is not None:
+                unbind_trace(token)
 
     async def _run_attempt(self, request: ServeRequest, level: int,
                            attempt: int, plan: ChaosPlan) -> Any:

@@ -39,6 +39,7 @@ import numpy as np
 from repro.fhe.backend import NumpyBackend, use_backend
 from repro.fhe.ckks import Ciphertext, CkksContext
 from repro.fhe.params import CkksParams, toy_params
+from repro.obs import current_obs_hook
 from repro.serve.requests import OPS, ServeRequest
 
 __all__ = ["CkksOpExecutor", "SimulatedExecutor"]
@@ -153,9 +154,27 @@ class SimulatedExecutor:
         return zlib.crc32(f"{request.request_id}:{request.op}:"
                           f"{request.payload}".encode())
 
+    def model_cycles(self, request: ServeRequest, level: int) -> int:
+        """Deterministic modeled cycle cost of one dispatch — a pure
+        function of (request identity, level), so per-trace cycle sums
+        are exactly reproducible and reconcile against the
+        ``serve.model_cycles`` counter."""
+        base = int(self.SERVICE_MEAN[request.op] * 1e7)
+        return (int(base * LEVEL_SLOWDOWN[min(level, 2)])
+                + self.fingerprint(request) % 1000)
+
     async def run(self, request: ServeRequest, level: int,
                   straggle: float = 1.0) -> int:
         await asyncio.sleep(self.service_time(request, level) * straggle)
+        obs = current_obs_hook()
+        if obs is not None:
+            # Charge the modeled cycles to the innermost open span (the
+            # engine's serve.attempt, stamped with the request's trace)
+            # and mirror them into the registry: per-trace sums from
+            # the tracer must reconcile with this counter exactly.
+            cycles = self.model_cycles(request, level)
+            obs.add_cycles(cycles)
+            obs.count("serve.model_cycles", cycles)
         return self.fingerprint(request)
 
     def verify(self, request: ServeRequest, value: int) -> bool:

@@ -168,7 +168,7 @@ class TestMetricsRegistry:
         assert list(snap["counters"]) == ["a", "b"]
         m.reset()
         assert m.snapshot() == {"counters": {}, "gauges": {},
-                                "histograms": {}}
+                                "histograms": {}, "sketches": {}}
 
 
 class TestHookManagement:

@@ -1,0 +1,260 @@
+"""Request-scoped trace contexts: binding, stitching, per-trace
+attribution, span-tree well-formedness, and the flow-event export.
+
+The load-bearing assertions: spans minted while a context is bound
+carry that context's trace id; spans begun in *another* logical task
+(fresh tracer stack, no shared call frames) stitch under the request's
+root by ``parent_id``; per-trace cycle totals reconcile exactly with
+the tracer's global total; and :func:`check_span_tree` catches each
+malformation class the chaos campaign guards against.
+"""
+
+import contextvars
+import json
+
+from repro.obs import Observer, Tracer
+from repro.obs.context import (
+    TraceContext,
+    bind_trace,
+    check_span_tree,
+    current_trace_context,
+    new_trace_id,
+    per_trace_cycles,
+    trace_scope,
+    unbind_trace,
+)
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+
+
+class TestTraceContext:
+    def test_default_is_untraced(self):
+        assert current_trace_context() is None
+
+    def test_bind_unbind_roundtrip(self):
+        ctx = TraceContext(trace_id=new_trace_id())
+        token = bind_trace(ctx)
+        assert current_trace_context() is ctx
+        unbind_trace(token)
+        assert current_trace_context() is None
+
+    def test_trace_scope_restores_on_exception(self):
+        ctx = TraceContext(trace_id=new_trace_id())
+        try:
+            with trace_scope(ctx):
+                assert current_trace_context() is ctx
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace_context() is None
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext(trace_id=7, span_id=3)
+        child = ctx.child(9)
+        assert child.trace_id == 7
+        assert child.span_id == 9
+
+    def test_trace_ids_unique_and_nonzero(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert 0 not in ids
+
+    def test_context_is_task_local(self):
+        """contextvars semantics: a binding made inside a copied context
+        does not leak into the caller — the asyncio-task isolation the
+        serve engine relies on."""
+        ctx = TraceContext(trace_id=new_trace_id())
+
+        def bind_inside():
+            bind_trace(ctx)
+            return current_trace_context()
+
+        inner = contextvars.copy_context().run(bind_inside)
+        assert inner is ctx
+        assert current_trace_context() is None
+
+
+class TestSpanStamping:
+    def test_untraced_spans_carry_zero_ids(self):
+        t = Tracer()
+        t.begin("work")
+        t.end()
+        (span,) = t.spans
+        assert span.trace_id == 0
+        assert span.parent_id == 0
+
+    def test_bound_context_stamps_spans(self):
+        t = Tracer()
+        with trace_scope(TraceContext(trace_id=42)):
+            root = t.begin("root")
+            child = t.begin("child")
+            t.end()
+            t.end()
+        assert root.trace_id == 42
+        assert child.trace_id == 42
+        assert child.parent_id == root.span_id
+        assert root.span_id != 0
+
+    def test_cross_task_stitch_by_parent_id(self):
+        """A span begun on a *different* stack (fresh context, as in a
+        worker task) stitches under the request root via the context's
+        span_id, with no structural parent."""
+        obs = Observer()
+        handle = obs.begin_request("serve.request")
+        ctx = handle.ctx
+
+        def worker():
+            with trace_scope(ctx):
+                obs.begin("serve.attempt")
+                obs.end()
+
+        contextvars.copy_context().run(worker)
+        obs.end_request(handle, status="ok")
+        root, attempt = obs.tracer.spans[0], obs.tracer.spans[1]
+        assert {root.name, attempt.name} == {"serve.request",
+                                             "serve.attempt"}
+        if root.name != "serve.request":
+            root, attempt = attempt, root
+        assert attempt.trace_id == root.trace_id == ctx.trace_id
+        assert attempt.parent_id == root.span_id
+        assert check_span_tree(obs.tracer) == []
+
+    def test_begin_request_restores_previous_binding(self):
+        obs = Observer()
+        outer = TraceContext(trace_id=new_trace_id())
+        token = bind_trace(outer)
+        handle = obs.begin_request("serve.request")
+        assert current_trace_context().trace_id == handle.ctx.trace_id
+        obs.end_request(handle)
+        assert current_trace_context() is outer
+        unbind_trace(token)
+
+    def test_interleaved_requests_stay_separate(self):
+        """Two requests whose spans interleave in wall time never share
+        a trace id — the exact failure mode retrospective spans had."""
+        obs = Observer()
+        a = obs.begin_request("serve.request", request=1)
+        ctx_a = a.ctx
+        obs.end_request(a)
+        b = obs.begin_request("serve.request", request=2)
+        ctx_b = b.ctx
+
+        def worker_a():
+            with trace_scope(ctx_a):
+                obs.begin("serve.attempt")
+                obs.end()
+
+        contextvars.copy_context().run(worker_a)
+        obs.end_request(b)
+        assert ctx_a.trace_id != ctx_b.trace_id
+        by_trace = {}
+        for span in obs.tracer.spans:
+            by_trace.setdefault(span.trace_id, []).append(span.name)
+        assert sorted(by_trace[ctx_a.trace_id]) == ["serve.attempt",
+                                                    "serve.request"]
+        assert by_trace[ctx_b.trace_id] == ["serve.request"]
+
+
+class TestPerTraceCycles:
+    def test_cycles_partition_exactly(self):
+        obs = Observer()
+        with trace_scope(TraceContext(trace_id=101)):
+            obs.begin("a")
+            obs.add_cycles(30)
+            obs.end()
+        with trace_scope(TraceContext(trace_id=202)):
+            obs.begin("b")
+            obs.add_cycles(12)
+            obs.end()
+        obs.begin("untraced")
+        obs.add_cycles(5)
+        obs.end()
+        totals = per_trace_cycles(obs.tracer)
+        assert totals == {101: 30, 202: 12, 0: 5}
+        assert sum(totals.values()) == obs.tracer.total_cycles()
+
+
+class TestCheckSpanTree:
+    def test_clean_tree_has_no_problems(self):
+        obs = Observer()
+        handle = obs.begin_request("serve.request")
+        obs.begin("child")
+        obs.end()
+        obs.end_request(handle)
+        assert check_span_tree(obs.tracer) == []
+
+    def test_unclosed_span_flagged(self):
+        t = Tracer()
+        t.begin("dangling")
+        problems = check_span_tree(t)
+        assert any("never closed" in p for p in problems)
+
+    def test_orphan_parent_id_flagged(self):
+        t = Tracer()
+        with trace_scope(TraceContext(trace_id=5, span_id=999)):
+            t.begin("stray")
+            t.end()
+        problems = check_span_tree(t)
+        assert any("orphan" in p for p in problems)
+
+    def test_multiple_roots_flagged(self):
+        t = Tracer()
+        with trace_scope(TraceContext(trace_id=6)):
+            t.begin("root1")
+            t.end()
+            t.begin("root2")
+            t.end()
+        problems = check_span_tree(t)
+        assert any("root spans" in p for p in problems)
+
+    def test_untraced_parent_containing_traced_root_is_legal(self):
+        """recover.resume (untraced) may structurally contain a traced
+        request root — only nonzero-vs-nonzero nesting is mis-nesting."""
+        obs = Observer()
+        obs.begin("recover.resume")
+        handle = obs.begin_request("serve.request")
+        obs.end_request(handle)
+        obs.end()
+        assert check_span_tree(obs.tracer) == []
+
+    def test_cross_trace_structural_nesting_flagged(self):
+        t = Tracer()
+        with trace_scope(TraceContext(trace_id=11)):
+            t.begin("outer")
+            with trace_scope(TraceContext(trace_id=12)):
+                t.begin("inner")
+                t.end()
+            t.end()
+        problems = check_span_tree(t)
+        assert any("mis-nested" in p for p in problems)
+
+
+class TestFlowExport:
+    def test_stitched_span_emits_flow_pair(self):
+        obs = Observer()
+        # The worker's context is copied *before* the request exists
+        # (serve workers are created at start()), so its tracer stack is
+        # empty and the attempt span has no structural parent — the
+        # stitch is purely by parent_id, which is what emits a flow.
+        worker_context = contextvars.copy_context()
+        handle = obs.begin_request("serve.request")
+        ctx = handle.ctx
+
+        def worker():
+            with trace_scope(ctx):
+                obs.begin("serve.attempt")
+                obs.end()
+
+        worker_context.run(worker)
+        obs.end_request(handle)
+        trace = to_chrome_trace(obs.tracer)
+        assert validate_chrome_trace(trace) == []
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        assert "s" in phases and "f" in phases
+        flow_ids = {e["id"] for e in trace["traceEvents"]
+                    if e["ph"] in ("s", "f")}
+        assert len(flow_ids) >= 1
+        # Traced spans land on their request's lane (tid == trace_id).
+        lanes = {e["tid"] for e in trace["traceEvents"]
+                 if e["ph"] == "X" and "trace_id" in e.get("args", {})}
+        assert lanes == {ctx.trace_id}
+        json.dumps(trace)  # must be serializable as emitted

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Benchmark regression sentinel — thin CLI over :mod:`repro.obs.sentinel`.
+
+Two modes:
+
+* no positional arguments — the CI gate: regenerate a quick candidate
+  for every committed ``BENCH_*`` artifact and compare under the
+  portable spec set (``python -m repro.obs --sentinel`` is the same
+  entry point);
+* ``--baseline B --candidate C [C ...]`` — full same-host comparison of
+  two (or a best-of-group of) artifact files, including the relative
+  latency/throughput thresholds.
+
+Exit status is non-zero on any regression.
+
+Run:  PYTHONPATH=src python tools/bench_sentinel.py [--report PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.export import host_envelope  # noqa: E402
+from repro.obs.sentinel import compare_files, run_sentinel  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline artifact for a full comparison")
+    parser.add_argument("--candidate", type=Path, action="append",
+                        default=None,
+                        help="candidate artifact(s); repeat for a "
+                             "best-of-group comparison")
+    parser.add_argument("--report", type=Path,
+                        default=Path("SENTINEL_report.json"),
+                        help="report path (default SENTINEL_report.json)")
+    parser.add_argument("--no-regen", action="store_true",
+                        help="CI mode: validate committed envelopes only, "
+                             "skip the working-tree regeneration")
+    args = parser.parse_args(argv)
+
+    if (args.baseline is None) != (args.candidate is None):
+        parser.error("--baseline and --candidate go together")
+
+    if args.baseline is not None:
+        checks = compare_files(args.baseline, args.candidate)
+        failed = [c for c in checks if not c.ok]
+        for check in checks:
+            mark = "PASS" if check.ok else "FAIL"
+            print(f"{mark} {check.path} [{check.cls}]: {check.detail}")
+        report = host_envelope("sentinel")
+        report["ok"] = not failed
+        report["artifacts"] = [{
+            "file": str(args.baseline), "bench": "full-compare",
+            "ok": not failed, "checks": [c.to_json() for c in checks],
+        }]
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.report}")
+        print("PASS" if not failed else f"FAIL ({len(failed)} regressions)")
+        return 0 if not failed else 1
+
+    result = run_sentinel(REPO_ROOT, regen=not args.no_regen,
+                          report_path=args.report)
+    print("PASS" if result.ok else "FAIL")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
